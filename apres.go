@@ -1,0 +1,162 @@
+// Package apres is a pure-Go reproduction of "APRES: Improving Cache
+// Efficiency by Exploiting Load Characteristics on GPUs" (ISCA 2016).
+//
+// It bundles a cycle-level, trace-driven GPU timing model (SMs, warp
+// schedulers, L1 caches with MSHRs, a partitioned L2 and DRAM), the warp
+// schedulers and prefetchers the paper compares against (LRR, GTO,
+// two-level, CCWS, MASCAR, PA; STR and SLD), the paper's contribution
+// (LAWS + SAP = APRES), synthetic models of the paper's 15 benchmarks, and
+// a harness that regenerates every table and figure of the evaluation.
+//
+// Quick start:
+//
+//	w, _ := apres.WorkloadByName("BFS")
+//	base, _ := apres.Simulate(apres.Baseline(), w.Kernel)
+//	fast, _ := apres.Simulate(apres.APRESConfig(), w.Kernel)
+//	fmt.Printf("speedup %.2fx\n", apres.Speedup(base, fast))
+package apres
+
+import (
+	"fmt"
+
+	"apres/internal/arch"
+	"apres/internal/config"
+	"apres/internal/energy"
+	"apres/internal/gpu"
+	"apres/internal/kernel"
+	"apres/internal/stats"
+	"apres/internal/workloads"
+)
+
+// Architectural vocabulary re-exported for users of the public API.
+type (
+	// PC is a static instruction address.
+	PC = arch.PC
+	// Addr is a byte address in simulated global memory.
+	Addr = arch.Addr
+	// WarpID identifies a warp within an SM.
+	WarpID = arch.WarpID
+)
+
+// Config is the full simulation configuration (Table III of the paper).
+type Config = config.Config
+
+// SchedulerKind selects a warp scheduling policy.
+type SchedulerKind = config.SchedulerKind
+
+// PrefetcherKind selects an L1 prefetcher.
+type PrefetcherKind = config.PrefetcherKind
+
+// Scheduler policies.
+const (
+	SchedLRR      = config.SchedLRR
+	SchedGTO      = config.SchedGTO
+	SchedTwoLevel = config.SchedTwoLevel
+	SchedCCWS     = config.SchedCCWS
+	SchedMASCAR   = config.SchedMASCAR
+	SchedPA       = config.SchedPA
+	SchedLAWS     = config.SchedLAWS
+)
+
+// Prefetcher policies.
+const (
+	PrefNone = config.PrefNone
+	PrefSTR  = config.PrefSTR
+	PrefSLD  = config.PrefSLD
+	PrefSAP  = config.PrefSAP
+)
+
+// Baseline returns the paper's baseline configuration (LRR, no prefetch).
+func Baseline() Config { return config.Baseline() }
+
+// APRESConfig returns the paper's APRES configuration (LAWS + SAP coupled).
+func APRESConfig() Config { return config.APRES() }
+
+// Kernel is a synthetic GPU kernel: a per-warp program plus launch
+// metadata. Build custom kernels from the kernel subtypes re-exported
+// below.
+type Kernel = kernel.Kernel
+
+// Program, Inst, Pattern and the opcode constants let users define custom
+// kernels against the public API (see examples/custom_kernel).
+type (
+	Program = kernel.Program
+	Inst    = kernel.Inst
+	Pattern = kernel.Pattern
+)
+
+// Kernel instruction opcodes.
+const (
+	OpALU    = kernel.OpALU
+	OpLoad   = kernel.OpLoad
+	OpStore  = kernel.OpStore
+	OpShared = kernel.OpShared
+)
+
+// Workload is a benchmark model with its paper metadata.
+type Workload = workloads.Workload
+
+// Workload categories (Table IV).
+const (
+	CacheSensitive   = workloads.CacheSensitive
+	CacheInsensitive = workloads.CacheInsensitive
+	ComputeIntensive = workloads.ComputeIntensive
+)
+
+// Workloads returns the 15 benchmark models in the paper's order.
+func Workloads() []Workload { return workloads.All() }
+
+// WorkloadByName looks a benchmark up by its abbreviation (e.g. "KM").
+func WorkloadByName(name string) (Workload, bool) { return workloads.ByName(name) }
+
+// Result is the outcome of one simulation run.
+type Result = gpu.Result
+
+// Stats is the counter set collected by a run.
+type Stats = stats.Stats
+
+// Option customises a simulation.
+type Option = gpu.Option
+
+// WithLoadStats enables the per-PC load characterisation of Table I.
+func WithLoadStats() Option { return gpu.WithLoadStats() }
+
+// Simulate runs one kernel under one configuration to completion.
+func Simulate(cfg Config, kern Kernel, opts ...Option) (Result, error) {
+	return gpu.Simulate(cfg, kern, opts...)
+}
+
+// Speedup returns the execution-time ratio base/other (>1 means other is
+// faster).
+func Speedup(base, other Result) float64 {
+	if other.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles) / float64(other.Cycles)
+}
+
+// EnergyModel is the event-energy model behind Figure 15.
+type EnergyModel = energy.Model
+
+// DefaultEnergyModel returns the reference event energies.
+func DefaultEnergyModel() EnergyModel { return energy.Default() }
+
+// DynamicEnergy estimates a run's dynamic energy in picojoules under the
+// default model.
+func DynamicEnergy(r Result) float64 {
+	b := energy.Default().Estimate(&r.Total)
+	return b.Dynamic()
+}
+
+// Compare runs the same workload under several named configurations.
+func Compare(kern Kernel, cfgs map[string]Config) (map[string]Result, error) {
+	out := make(map[string]Result, len(cfgs))
+	for name, cfg := range cfgs {
+		r, err := Simulate(cfg, kern)
+		if err != nil {
+			return nil, fmt.Errorf("apres: config %q: %w", name, err)
+		}
+		out[name] = r
+	}
+	return out, nil
+}

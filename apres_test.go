@@ -1,0 +1,109 @@
+package apres_test
+
+import (
+	"testing"
+
+	"apres"
+)
+
+// smallConfig shrinks the machine so public-API tests stay fast.
+func smallConfig(c apres.Config) apres.Config {
+	c.NumSMs = 2
+	return c
+}
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	w, ok := apres.WorkloadByName("SP")
+	if !ok {
+		t.Fatal("SP workload missing")
+	}
+	kern := w.Kernel.Scaled(0.1)
+	base, err := apres.Simulate(smallConfig(apres.Baseline()), kern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := apres.Simulate(smallConfig(apres.APRESConfig()), kern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := apres.Speedup(base, fast); s <= 0 {
+		t.Fatalf("speedup = %v", s)
+	}
+	if apres.DynamicEnergy(base) <= 0 {
+		t.Fatal("energy should be positive")
+	}
+}
+
+func TestWorkloadsRegistry(t *testing.T) {
+	if len(apres.Workloads()) != 15 {
+		t.Fatal("Workloads() should return the paper's 15 benchmarks")
+	}
+	counts := map[string]int{}
+	for _, w := range apres.Workloads() {
+		switch w.Category {
+		case apres.CacheSensitive:
+			counts["cs"]++
+		case apres.CacheInsensitive:
+			counts["ci"]++
+		case apres.ComputeIntensive:
+			counts["co"]++
+		}
+	}
+	if counts["cs"] != 5 || counts["ci"] != 5 || counts["co"] != 5 {
+		t.Fatalf("category split = %v, want 5/5/5", counts)
+	}
+}
+
+func TestCustomKernelThroughPublicAPI(t *testing.T) {
+	kern := apres.Kernel{
+		Name:       "custom",
+		WarpsPerSM: 8,
+		Program: apres.Program{
+			Iterations: 6,
+			Body: []apres.Inst{
+				{Op: apres.OpLoad, PC: 0x40, Pattern: apres.Pattern{
+					Base: 1 << 30, SMStride: 1 << 24,
+					WarpStride: 2048, IterStride: 2048 * 8, LaneStride: 4,
+				}},
+				{Op: apres.OpALU, DependsOnMem: true, Repeat: 4},
+				{Op: apres.OpStore, PC: 0x50, Pattern: apres.Pattern{
+					Base: 1 << 31, SMStride: 1 << 24,
+					WarpStride: 512, IterStride: 512 * 8, LaneStride: 4,
+				}},
+			},
+		},
+	}
+	res, err := apres.Simulate(smallConfig(apres.Baseline()), kern, apres.WithLoadStats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total.Instructions == 0 || res.LoadStats == nil {
+		t.Fatal("custom kernel did not run with load stats")
+	}
+	ls := res.LoadStats[0x40]
+	if ls == nil {
+		t.Fatal("no stats for custom load")
+	}
+	if stride, _ := ls.DominantStride(); stride != 2048 {
+		t.Fatalf("detected stride = %d, want 2048", stride)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	w, _ := apres.WorkloadByName("CS")
+	kern := w.Kernel.Scaled(0.05)
+	res, err := apres.Compare(kern, map[string]apres.Config{
+		"base": smallConfig(apres.Baseline()),
+		"gto":  smallConfig(apres.Baseline().WithScheduler(apres.SchedGTO)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res["base"].Cycles == 0 || res["gto"].Cycles == 0 {
+		t.Fatalf("compare results incomplete: %v", len(res))
+	}
+	bad := map[string]apres.Config{"broken": {}}
+	if _, err := apres.Compare(kern, bad); err == nil {
+		t.Fatal("invalid config accepted by Compare")
+	}
+}

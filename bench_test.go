@@ -1,0 +1,310 @@
+package apres_test
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// APRES paper's evaluation, plus ablation benches for the design choices
+// called out in DESIGN.md. Each benchmark regenerates its experiment and
+// reports the headline quantities as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the whole evaluation. Workloads run at a reduced scale
+// (benchScale) to keep the suite's wall time reasonable; cmd/experiments
+// runs the same experiments at full scale.
+
+import (
+	"testing"
+
+	"apres/internal/config"
+	"apres/internal/harness"
+)
+
+const (
+	benchScale = 0.25
+	benchSMs   = 0 // 0 = the paper's 15 SMs
+)
+
+// sharedRunner memoises runs across benchmarks within one bench process.
+var sharedRunner = harness.NewRunner(benchScale, benchSMs)
+
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := sharedRunner.TableI(harness.MemoryIntensiveApps())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkTableII(b *testing.B) {
+	var total int
+	for i := 0; i < b.N; i++ {
+		total = harness.TableII(config.APRES()).Total()
+	}
+	b.ReportMetric(float64(total), "bytes")
+	if total != 724 {
+		b.Fatalf("hardware cost = %d B, want the paper's 724", total)
+	}
+}
+
+func BenchmarkFig2(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		c, err := sharedRunner.Fig2(harness.AllApps())
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, _ := c.SeriesByName("C speedup")
+		speedup = s.Mean(c.Apps)
+	}
+	b.ReportMetric(speedup, "32MB-speedup")
+}
+
+func BenchmarkFig3(b *testing.B) {
+	var best float64
+	for i := 0; i < b.N; i++ {
+		c, err := sharedRunner.Fig3(harness.MemoryIntensiveApps())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range c.Series {
+			if m := s.Mean(c.Apps); m > best {
+				best = m
+			}
+		}
+	}
+	b.ReportMetric(best, "best-combo-speedup")
+}
+
+func BenchmarkFig4(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		c, err := sharedRunner.Fig4(harness.MemoryIntensiveApps())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range c.Series {
+			if m := s.Mean(c.Apps); m > worst {
+				worst = m
+			}
+		}
+	}
+	b.ReportMetric(worst, "early-eviction-ratio")
+}
+
+func BenchmarkFig10(b *testing.B) {
+	var apres, laws float64
+	for i := 0; i < b.N; i++ {
+		c, err := sharedRunner.Fig10(harness.AllApps())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s, ok := c.SeriesByName("apres"); ok {
+			apres = s.Mean(c.Apps)
+		}
+		if s, ok := c.SeriesByName("laws"); ok {
+			laws = s.Mean(c.Apps)
+		}
+	}
+	b.ReportMetric(apres, "apres-speedup")
+	b.ReportMetric(laws, "laws-speedup")
+}
+
+func BenchmarkFig11(b *testing.B) {
+	var hitAfterHit float64
+	for i := 0; i < b.N; i++ {
+		c, err := sharedRunner.Fig11(harness.AllApps())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s, ok := c.SeriesByName("A hitH"); ok {
+			hitAfterHit = s.Mean(c.Apps)
+		}
+	}
+	b.ReportMetric(hitAfterHit, "apres-hit-after-hit")
+}
+
+func BenchmarkFig12(b *testing.B) {
+	var apres, ccwsStr float64
+	for i := 0; i < b.N; i++ {
+		c, err := sharedRunner.Fig12(harness.AllApps())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s, ok := c.SeriesByName("apres"); ok {
+			apres = s.Mean(c.Apps)
+		}
+		if s, ok := c.SeriesByName("ccws+str"); ok {
+			ccwsStr = s.Mean(c.Apps)
+		}
+	}
+	b.ReportMetric(apres, "apres-early-evict")
+	b.ReportMetric(ccwsStr, "ccws+str-early-evict")
+}
+
+func BenchmarkFig13(b *testing.B) {
+	var apres float64
+	for i := 0; i < b.N; i++ {
+		c, err := sharedRunner.Fig13(harness.AllApps())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s, ok := c.SeriesByName("apres"); ok {
+			apres = s.Mean(c.Apps)
+		}
+	}
+	b.ReportMetric(apres, "apres-mem-latency")
+}
+
+func BenchmarkFig14(b *testing.B) {
+	var apres float64
+	for i := 0; i < b.N; i++ {
+		c, err := sharedRunner.Fig14(harness.AllApps())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s, ok := c.SeriesByName("apres"); ok {
+			apres = s.Mean(c.Apps)
+		}
+	}
+	b.ReportMetric(apres, "apres-traffic")
+}
+
+func BenchmarkFig15(b *testing.B) {
+	var apres float64
+	for i := 0; i < b.N; i++ {
+		c, err := sharedRunner.Fig15(harness.AllApps())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s, ok := c.SeriesByName("apres"); ok {
+			apres = s.Mean(c.Apps)
+		}
+	}
+	b.ReportMetric(apres, "apres-energy")
+}
+
+// ablationApps is a small representative set (one per category) so the
+// ablation benches stay quick.
+var ablationApps = []string{"BFS", "SRAD", "SP"}
+
+// benchAblation measures APRES mean speedup under a config adjustment.
+func benchAblation(b *testing.B, adjust func(*config.Config)) float64 {
+	b.Helper()
+	r := harness.NewRunner(benchScale, benchSMs)
+	r.Adjust = adjust
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		c, err := r.Fig10(ablationApps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, _ := c.SeriesByName("apres")
+		mean = s.Mean(ablationApps)
+	}
+	return mean
+}
+
+func BenchmarkAblationWGTDepth(b *testing.B) {
+	for _, depth := range []int{1, 3, 8} {
+		depth := depth
+		b.Run(map[int]string{1: "wgt1", 3: "wgt3-paper", 8: "wgt8"}[depth], func(b *testing.B) {
+			m := benchAblation(b, func(c *config.Config) {
+				if c.APRESCoupling {
+					c.LAWSWGTEntries = depth
+				}
+			})
+			b.ReportMetric(m, "apres-speedup")
+		})
+	}
+}
+
+func BenchmarkAblationPTSize(b *testing.B) {
+	for _, size := range []int{2, 10, 32} {
+		size := size
+		b.Run(map[int]string{2: "pt2", 10: "pt10-paper", 32: "pt32"}[size], func(b *testing.B) {
+			m := benchAblation(b, func(c *config.Config) {
+				if c.APRESCoupling {
+					c.SAPPTEntries = size
+				}
+			})
+			b.ReportMetric(m, "apres-speedup")
+		})
+	}
+}
+
+func BenchmarkAblationTailDemotion(b *testing.B) {
+	for _, on := range []bool{true, false} {
+		on := on
+		name := "off"
+		if on {
+			name = "on-paper"
+		}
+		b.Run(name, func(b *testing.B) {
+			m := benchAblation(b, func(c *config.Config) {
+				if c.Scheduler == config.SchedLAWS {
+					c.LAWSTailDemotion = on
+				}
+			})
+			b.ReportMetric(m, "apres-speedup")
+		})
+	}
+}
+
+func BenchmarkAblationStrideGate(b *testing.B) {
+	for _, on := range []bool{true, false} {
+		on := on
+		name := "off"
+		if on {
+			name = "on-paper"
+		}
+		b.Run(name, func(b *testing.B) {
+			m := benchAblation(b, func(c *config.Config) {
+				if c.APRESCoupling {
+					c.SAPStrideGate = on
+				}
+			})
+			b.ReportMetric(m, "apres-speedup")
+		})
+	}
+}
+
+// BenchmarkAblationCoupling contrasts APRES (coupled) against LAWS+STR
+// (uncoupled scheduling + generic prefetch): the paper's core claim is that
+// the coupling is what protects prefetched lines from early eviction.
+func BenchmarkAblationCoupling(b *testing.B) {
+	var coupled, uncoupled float64
+	for i := 0; i < b.N; i++ {
+		c, err := sharedRunner.Fig10(ablationApps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s, ok := c.SeriesByName("apres"); ok {
+			coupled = s.Mean(ablationApps)
+		}
+		if s, ok := c.SeriesByName("laws+str"); ok {
+			uncoupled = s.Mean(ablationApps)
+		}
+	}
+	b.ReportMetric(coupled, "apres-speedup")
+	b.ReportMetric(uncoupled, "laws+str-speedup")
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (cycles
+// simulated per second) — useful when sizing new experiments.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	r := harness.NewRunner(benchScale, benchSMs)
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		res, err := r.Run("SP", "base")
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.Cycles
+		// Bust the cache so the benchmark measures simulation work.
+		r = harness.NewRunner(benchScale, benchSMs)
+	}
+	b.ReportMetric(float64(cycles), "cycles")
+}

@@ -1,0 +1,143 @@
+// Command apressim runs one GPU simulation and prints its statistics.
+//
+// Usage:
+//
+//	apressim -workload KM -scheduler laws -prefetcher sap -apres
+//	apressim -workload BFS -scheduler ccws -prefetcher str -loadstats
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"apres/internal/arch"
+	"apres/internal/config"
+	"apres/internal/energy"
+	"apres/internal/gpu"
+	"apres/internal/workloads"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "BFS", "benchmark abbreviation (see -list)")
+		scheduler = flag.String("scheduler", "lrr", "warp scheduler: lrr|gto|twolevel|ccws|mascar|pa|laws")
+		pref      = flag.String("prefetcher", "none", "prefetcher: none|str|sld|sap")
+		apres     = flag.Bool("apres", false, "enable the APRES LAWS<->SAP coupling (implies -scheduler laws -prefetcher sap)")
+		sms       = flag.Int("sms", 0, "override number of SMs (0 = Table III value)")
+		l1KB      = flag.Int("l1kb", 0, "override L1 size in KiB (0 = Table III value)")
+		scale     = flag.Float64("scale", 1, "workload iteration scale factor")
+		loadstats = flag.Bool("loadstats", false, "collect per-PC load characterisation (Table I)")
+		asJSON    = flag.Bool("json", false, "emit the full result as JSON instead of text")
+		list      = flag.Bool("list", false, "list workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.All() {
+			fmt.Printf("%-6s %-18s %s\n", w.Name(), w.Category, w.Description)
+		}
+		return
+	}
+
+	w, ok := workloads.ByName(*workload)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q (try -list)\n", *workload)
+		os.Exit(1)
+	}
+
+	var cfg config.Config
+	if *apres {
+		cfg = config.APRES()
+	} else {
+		cfg = config.Baseline().
+			WithScheduler(config.SchedulerKind(*scheduler)).
+			WithPrefetcher(config.PrefetcherKind(*pref))
+	}
+	if *sms > 0 {
+		cfg.NumSMs = *sms
+	}
+	if *l1KB > 0 {
+		cfg.L1SizeBytes = *l1KB * 1024
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	kern := w.Kernel.Scaled(*scale)
+	var opts []gpu.Option
+	if *loadstats {
+		opts = append(opts, gpu.WithLoadStats())
+	}
+	start := time.Now()
+	res, err := gpu.Simulate(cfg, kern, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Workload string
+			Category string
+			Result   gpu.Result
+			WallMS   int64
+		}{w.Name(), w.Category.String(), res, elapsed.Milliseconds()}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	t := &res.Total
+	fmt.Printf("workload    %s (%s)\n", w.Name(), w.Category)
+	fmt.Printf("config      sched=%s pref=%s apres=%v sms=%d l1=%dKB\n",
+		cfg.Scheduler, cfg.Prefetcher, cfg.APRESCoupling, cfg.NumSMs, cfg.L1SizeBytes/1024)
+	fmt.Printf("cycles      %d (wall %v)\n", res.Cycles, elapsed.Round(time.Millisecond))
+	fmt.Printf("insts       %d  IPC %.3f  issue-stall-cycles %d\n", t.Instructions, res.IPC(), t.IssueStallCycles)
+	fmt.Printf("L1          acc %d  hit %.3f  miss %.3f (cold %.3f cap+conf %.3f)\n",
+		t.L1Accesses, t.L1HitRate(), t.L1MissRate(), t.ColdMissRate(), t.CapConfMissRate())
+	fmt.Printf("hits        after-hit %d  after-miss %d\n", t.L1HitAfterHit, t.L1HitAfterMiss)
+	fmt.Printf("mshr        merges %d (into prefetch %d)  stalls %d\n",
+		t.L1MSHRMerges, t.L1PrefetchMerges, t.L1Stalls)
+	fmt.Printf("prefetch    issued %d dropped %d fills %d useful %d earlyevict %d useless %d (early ratio %.3f)\n",
+		t.PrefetchIssued, t.PrefetchDropped, t.PrefetchFills, t.PrefetchUseful,
+		t.PrefetchEarlyEvicted, t.PrefetchUseless, t.EarlyEvictionRatio())
+	fmt.Printf("L2          acc %d hits %d misses %d\n", t.L2Accesses, t.GPUL2Hits, t.L2Misses)
+	fmt.Printf("dram        acc %d queue-cycles %d\n", t.DRAMAccesses, t.DRAMQueueCycles)
+	fmt.Printf("memlat      %.1f cycles avg over %d reqs\n", t.AvgMemLatency(), t.MemLatencyCount)
+	fmt.Printf("traffic     to-SM %d B  from-DRAM %d B\n", t.BytesToSM, t.BytesFromDRAM)
+	b := energy.Default().Estimate(t)
+	fmt.Printf("energy      %.1f uJ dynamic (core %.0f L1 %.0f L2 %.0f dram %.0f noc %.0f apres %.0f)\n",
+		b.Dynamic()/1e6, b.Core/1e6, b.L1/1e6, b.L2/1e6, b.DRAM/1e6, b.NoC/1e6, b.APRES/1e6)
+	if res.HitMaxCycles {
+		fmt.Println("WARNING: run stopped at MaxCycles before kernel completion")
+	}
+
+	if *loadstats && res.LoadStats != nil {
+		fmt.Println("\nper-load characterisation (SM 0):")
+		pcs := make([]int, 0, len(res.LoadStats))
+		for pc := range res.LoadStats {
+			pcs = append(pcs, int(pc))
+		}
+		sort.Ints(pcs)
+		var totalRefs int64
+		for _, pc := range pcs {
+			totalRefs += res.LoadStats[arch.PC(pc)].Refs
+		}
+		fmt.Printf("%-8s %-7s %-7s %-9s %-10s %-8s\n", "PC", "%Load", "#L/#R", "MissRate", "Stride", "%Stride")
+		for _, pc := range pcs {
+			ls := res.LoadStats[arch.PC(pc)]
+			stride, share := ls.DominantStride()
+			fmt.Printf("%#-8x %-7.3f %-7.3f %-9.3f %-10d %-8.3f\n",
+				pc, float64(ls.Refs)/float64(totalRefs), ls.LinesPerRef(), ls.MissRate(), stride, share)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// Command characterize reproduces Table I of the APRES paper: the
+// per-static-load characterisation (%Load, #L/#R, miss rate, dominant
+// inter-warp stride and its share) of each benchmark under the baseline
+// LRR GPU.
+//
+// Usage:
+//
+//	characterize                 # all memory-intensive apps (paper scope)
+//	characterize -apps KM,SRAD   # a subset
+//	characterize -all            # all 15 apps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"apres/internal/harness"
+)
+
+func main() {
+	var (
+		apps  = flag.String("apps", "", "comma-separated benchmark subset (default: memory-intensive set)")
+		all   = flag.Bool("all", false, "characterise all 15 benchmarks")
+		scale = flag.Float64("scale", 1, "workload iteration scale")
+		sms   = flag.Int("sms", 0, "override SM count")
+	)
+	flag.Parse()
+
+	var list []string
+	switch {
+	case *apps != "":
+		list = strings.Split(*apps, ",")
+		for i := range list {
+			list[i] = strings.TrimSpace(list[i])
+		}
+	case *all:
+		list = harness.AllApps()
+	default:
+		list = harness.MemoryIntensiveApps()
+	}
+
+	r := harness.NewRunner(*scale, *sms)
+	start := time.Now()
+	rows, err := r.TableI(list)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(harness.RenderTableI(rows))
+	fmt.Fprintf(os.Stderr, "wall time: %v\n", time.Since(start).Round(time.Millisecond))
+}

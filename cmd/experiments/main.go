@@ -1,0 +1,96 @@
+// Command experiments regenerates the APRES paper's tables and figures.
+//
+// Usage:
+//
+//	experiments                 # run everything at full scale
+//	experiments -only fig10     # one experiment
+//	experiments -scale 0.25     # smaller workloads (quick look)
+//	experiments > results.txt   # capture for EXPERIMENTS.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"apres/internal/config"
+	"apres/internal/harness"
+)
+
+func main() {
+	var (
+		only   = flag.String("only", "", "comma-separated experiment ids (table1,table2,fig2,fig3,fig4,fig10,fig11,fig12,fig13,fig14,fig15); empty = all")
+		scale  = flag.Float64("scale", 1, "workload iteration scale")
+		sms    = flag.Int("sms", 0, "override SM count (0 = Table III's 15)")
+		format = flag.String("format", harness.FormatText, "figure output format: text|csv|md")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	sel := func(id string) bool { return len(want) == 0 || want[id] }
+
+	r := harness.NewRunner(*scale, *sms)
+	all := harness.AllApps()
+	memApps := harness.MemoryIntensiveApps()
+	start := time.Now()
+
+	type experiment struct {
+		id  string
+		run func() (fmt.Stringer, error)
+	}
+	chartOf := func(c *harness.Chart, err error) (fmt.Stringer, error) {
+		if err != nil {
+			return nil, err
+		}
+		out, err := c.RenderAs(*format)
+		if err != nil {
+			return nil, err
+		}
+		return stringer{out}, nil
+	}
+	experiments := []experiment{
+		{"table1", func() (fmt.Stringer, error) {
+			rows, err := r.TableI(memApps)
+			if err != nil {
+				return nil, err
+			}
+			return stringer{harness.RenderTableI(rows)}, nil
+		}},
+		{"table2", func() (fmt.Stringer, error) {
+			return stringer{harness.RenderTableII(harness.TableII(config.APRES()))}, nil
+		}},
+		{"fig2", func() (fmt.Stringer, error) { return chartOf(r.Fig2(all)) }},
+		{"fig3", func() (fmt.Stringer, error) { return chartOf(r.Fig3(memApps)) }},
+		{"fig4", func() (fmt.Stringer, error) { return chartOf(r.Fig4(memApps)) }},
+		{"fig10", func() (fmt.Stringer, error) { return chartOf(r.Fig10(all)) }},
+		{"fig11", func() (fmt.Stringer, error) { return chartOf(r.Fig11(all)) }},
+		{"fig12", func() (fmt.Stringer, error) { return chartOf(r.Fig12(all)) }},
+		{"fig13", func() (fmt.Stringer, error) { return chartOf(r.Fig13(all)) }},
+		{"fig14", func() (fmt.Stringer, error) { return chartOf(r.Fig14(all)) }},
+		{"fig15", func() (fmt.Stringer, error) { return chartOf(r.Fig15(all)) }},
+	}
+
+	for _, e := range experiments {
+		if !sel(e.id) {
+			continue
+		}
+		out, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s ==\n%s\n", e.id, out)
+	}
+	fmt.Fprintf(os.Stderr, "total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+type stringer struct{ s string }
+
+func (s stringer) String() string { return s.s }

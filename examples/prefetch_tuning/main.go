@@ -1,0 +1,67 @@
+// Prefetch tuning: sweep the SAP prefetch table size and the APRES
+// structure knobs on a strided workload, reproducing the spirit of the
+// paper's hardware-cost discussion (Table II): how small can the tables be
+// before the benefit degrades?
+//
+// Run with:
+//
+//	go run ./examples/prefetch_tuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"apres"
+)
+
+func main() {
+	w, ok := apres.WorkloadByName("BP") // dense stride-128 streams
+	if !ok {
+		log.Fatal("BP workload missing")
+	}
+	kern := w.Kernel.Scaled(0.5)
+
+	base, err := apres.Simulate(apres.Baseline(), kern)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("BP baseline: %d cycles\n\n", base.Cycles)
+
+	fmt.Println("SAP prefetch table (PT) size sweep (paper uses 10 entries):")
+	fmt.Printf("%4s %9s %10s %9s\n", "PT", "speedup", "pf-issued", "pf-useful")
+	for _, pt := range []int{1, 2, 5, 10, 20} {
+		cfg := apres.APRESConfig()
+		cfg.SAPPTEntries = pt
+		res, err := apres.Simulate(cfg, kern)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%4d %8.2fx %10d %9d\n",
+			pt, apres.Speedup(base, res), res.Total.PrefetchIssued, res.Total.PrefetchUseful)
+	}
+
+	fmt.Println("\nWGT depth sweep (paper uses 3, the issue-to-execute depth):")
+	fmt.Printf("%4s %9s\n", "WGT", "speedup")
+	for _, wgt := range []int{1, 3, 8} {
+		cfg := apres.APRESConfig()
+		cfg.LAWSWGTEntries = wgt
+		res, err := apres.Simulate(cfg, kern)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%4d %8.2fx\n", wgt, apres.Speedup(base, res))
+	}
+
+	fmt.Println("\nSAP stride-match gate (paper: prefetch only on stride confirmation):")
+	for _, gate := range []bool{true, false} {
+		cfg := apres.APRESConfig()
+		cfg.SAPStrideGate = gate
+		res, err := apres.Simulate(cfg, kern)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  gate=%-5v  %.2fx  (issued %d, useless %d)\n",
+			gate, apres.Speedup(base, res), res.Total.PrefetchIssued, res.Total.PrefetchUseless)
+	}
+}

@@ -1,0 +1,50 @@
+// Quickstart: simulate one benchmark under the baseline GPU and under
+// APRES, and print the headline numbers the paper's evaluation revolves
+// around (speedup, L1 behaviour, memory latency, prefetch usefulness).
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"apres"
+)
+
+func main() {
+	w, ok := apres.WorkloadByName("BFS")
+	if !ok {
+		log.Fatal("BFS workload missing")
+	}
+	fmt.Printf("workload: %s — %s (%s)\n\n", w.Name(), w.Description, w.Category)
+
+	// Table III baseline: 15 SMs, LRR scheduling, no prefetching.
+	base, err := apres.Simulate(apres.Baseline(), w.Kernel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// APRES: LAWS warp scheduling + SAP prefetching, coupled.
+	fast, err := apres.Simulate(apres.APRESConfig(), w.Kernel)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report := func(name string, r apres.Result) {
+		t := r.Total
+		fmt.Printf("%-8s cycles=%-9d IPC=%-6.3f L1 hit=%.3f  avg mem latency=%.0f cyc\n",
+			name, r.Cycles, r.IPC(), t.L1HitRate(), t.AvgMemLatency())
+		if t.PrefetchIssued > 0 {
+			fmt.Printf("         prefetches: issued=%d useful=%d merged-with-demand=%d early-evicted=%d\n",
+				t.PrefetchIssued, t.PrefetchUseful, t.L1PrefetchMerges, t.PrefetchEarlyEvicted)
+		}
+	}
+	report("baseline", base)
+	report("apres", fast)
+
+	fmt.Printf("\nAPRES speedup over baseline: %.2fx\n", apres.Speedup(base, fast))
+	fmt.Printf("dynamic energy vs baseline:  %.2fx\n",
+		apres.DynamicEnergy(fast)/apres.DynamicEnergy(base))
+}

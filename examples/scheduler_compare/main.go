@@ -1,0 +1,64 @@
+// Scheduler comparison: run one cache-sensitive workload under every warp
+// scheduling policy the paper evaluates (with and without STR prefetching)
+// and print a ranking — a miniature of the paper's Figures 3 and 10.
+//
+// Run with:
+//
+//	go run ./examples/scheduler_compare [-workload KM]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"apres"
+)
+
+func main() {
+	workload := flag.String("workload", "KM", "benchmark to compare schedulers on")
+	flag.Parse()
+
+	w, ok := apres.WorkloadByName(*workload)
+	if !ok {
+		log.Fatalf("unknown workload %q", *workload)
+	}
+	kern := w.Kernel.Scaled(0.5)
+
+	configs := map[string]apres.Config{
+		"lrr (baseline)": apres.Baseline(),
+		"gto":            apres.Baseline().WithScheduler(apres.SchedGTO),
+		"two-level":      apres.Baseline().WithScheduler(apres.SchedTwoLevel),
+		"ccws":           apres.Baseline().WithScheduler(apres.SchedCCWS),
+		"mascar":         apres.Baseline().WithScheduler(apres.SchedMASCAR),
+		"pa":             apres.Baseline().WithScheduler(apres.SchedPA),
+		"laws":           apres.Baseline().WithScheduler(apres.SchedLAWS),
+		"ccws+str":       apres.Baseline().WithScheduler(apres.SchedCCWS).WithPrefetcher(apres.PrefSTR),
+		"laws+str":       apres.Baseline().WithScheduler(apres.SchedLAWS).WithPrefetcher(apres.PrefSTR),
+		"apres":          apres.APRESConfig(),
+	}
+
+	results, err := apres.Compare(kern, configs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := results["lrr (baseline)"]
+
+	type row struct {
+		name    string
+		speedup float64
+		hitRate float64
+	}
+	rows := make([]row, 0, len(results))
+	for name, r := range results {
+		rows = append(rows, row{name, apres.Speedup(base, r), r.Total.L1HitRate()})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].speedup > rows[j].speedup })
+
+	fmt.Printf("%s on %d SMs — ranking by speedup over LRR baseline\n\n", w.Name(), base.Config.NumSMs)
+	fmt.Printf("%-16s %8s %9s\n", "policy", "speedup", "L1 hit")
+	for _, r := range rows {
+		fmt.Printf("%-16s %7.2fx %8.1f%%\n", r.name, r.speedup, r.hitRate*100)
+	}
+}

@@ -1,0 +1,3 @@
+module apres
+
+go 1.22

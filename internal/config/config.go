@@ -1,0 +1,214 @@
+// Package config holds the simulation configuration. The defaults reproduce
+// Table III of the APRES paper (ISCA 2016).
+package config
+
+import "fmt"
+
+// SchedulerKind selects the warp scheduling policy of each SM.
+type SchedulerKind string
+
+// The scheduler policies evaluated in the paper.
+const (
+	SchedLRR      SchedulerKind = "lrr"      // loose round-robin (baseline)
+	SchedGTO      SchedulerKind = "gto"      // greedy-then-oldest
+	SchedTwoLevel SchedulerKind = "twolevel" // two-level fetch groups
+	SchedCCWS     SchedulerKind = "ccws"     // cache-conscious wavefront scheduling
+	SchedMASCAR   SchedulerKind = "mascar"   // memory-aware scheduling and cache access re-execution
+	SchedPA       SchedulerKind = "pa"       // prefetch-aware (OWL-style group scheduling)
+	SchedLAWS     SchedulerKind = "laws"     // locality-aware warp scheduling (this paper)
+)
+
+// PrefetcherKind selects the L1 prefetcher of each SM.
+type PrefetcherKind string
+
+// The prefetchers evaluated in the paper.
+const (
+	PrefNone PrefetcherKind = "none"
+	PrefSTR  PrefetcherKind = "str" // per-PC inter-warp stride prefetching
+	PrefSLD  PrefetcherKind = "sld" // spatial-locality-detection macro-block prefetching
+	PrefSAP  PrefetcherKind = "sap" // scheduling-aware prefetching (this paper)
+)
+
+// Config is the full simulation configuration.
+type Config struct {
+	// NumSMs is the number of streaming multiprocessors (Table III: 15).
+	NumSMs int
+	// WarpsPerSM is the maximum number of concurrently active warps per
+	// SM (Table III: 48).
+	WarpsPerSM int
+	// PipelineDepth is the issue-to-execute depth in cycles; the paper
+	// assumes 8 cycles of read-after-write latency (Section IV) and sizes
+	// the WGT to 3 in-flight loads.
+	PipelineDepth int
+
+	// Scheduler selects the warp scheduling policy.
+	Scheduler SchedulerKind
+	// Prefetcher selects the L1 prefetcher.
+	Prefetcher PrefetcherKind
+
+	// L1 geometry (Table III: 8-way, 32 KB, 128 B lines, 64 MSHRs).
+	L1SizeBytes int
+	L1Ways      int
+	L1MSHRs     int
+	// L1HitLatency is the L1 hit latency in cycles.
+	L1HitLatency int
+
+	// L2 geometry (Table III: 8-way, 768 KB, 128 B lines, 200 cycles).
+	L2SizeBytes int
+	L2Ways      int
+	L2MSHRs     int
+	// L2Latency is the total round-trip latency for an L1 miss that hits
+	// in the L2, including the interconnect.
+	L2Latency int
+
+	// DRAMPartitions is the number of memory partitions (Table III: 6).
+	DRAMPartitions int
+	// DRAMLatency is the minimum DRAM access latency in cycles
+	// (Table III: 440).
+	DRAMLatency int
+	// DRAMServiceInterval is the number of cycles between request
+	// completions one partition can sustain; it models finite bandwidth
+	// and creates the queueing delay the paper discusses.
+	DRAMServiceInterval int
+
+	// NoCBytesPerCycle is the per-SM response bandwidth of the
+	// interconnect in bytes per cycle.
+	NoCBytesPerCycle int
+
+	// CCWS tuning.
+	CCWSVictimTagEntries int // per-warp victim tag array entries
+	CCWSBaseScore        int // locality score added per victim hit
+	CCWSScoreDecay       int // cycles per point of score decay
+
+	// MASCAR tuning.
+	MASCARSaturationMSHRs int // MSHR occupancy that flags memory saturation
+
+	// LAWS/SAP structure sizes (Table II).
+	LAWSWGTEntries int // warp group table entries (paper: 3)
+	SAPPTEntries   int // prefetch table entries (paper: 10)
+	SAPDRQEntries  int // demand request queue entries (paper: 32)
+	// LAWSTailDemotion controls whether a head-warp miss demotes the
+	// whole group to the queue tail (paper behaviour) or leaves the queue
+	// untouched; exposed for the ablation bench.
+	LAWSTailDemotion bool
+	// APRESCoupling enables the LAWS↔SAP cooperation (sending the missed
+	// group to SAP and prioritising prefetch-target warps). With it off,
+	// LAWS and the prefetcher run independently (the "LAWS+STR" style
+	// configuration in Figure 10 uses Prefetcher=str instead).
+	APRESCoupling bool
+	// SAPStrideGate requires the newly observed inter-warp stride to
+	// match the stride stored in the PT before prefetching (paper
+	// behaviour); exposed for the ablation bench.
+	SAPStrideGate bool
+
+	// MaxCycles bounds the simulation; 0 means run to kernel completion.
+	MaxCycles int64
+}
+
+// Baseline returns the paper's Table III configuration with the baseline
+// LRR scheduler and no prefetching.
+func Baseline() Config {
+	return Config{
+		NumSMs:        15,
+		WarpsPerSM:    48,
+		PipelineDepth: 8,
+
+		Scheduler:  SchedLRR,
+		Prefetcher: PrefNone,
+
+		L1SizeBytes:  32 * 1024,
+		L1Ways:       8,
+		L1MSHRs:      64,
+		L1HitLatency: 28,
+
+		L2SizeBytes: 768 * 1024,
+		L2Ways:      8,
+		L2MSHRs:     256,
+		L2Latency:   200,
+
+		DRAMPartitions:      6,
+		DRAMLatency:         440,
+		DRAMServiceInterval: 2,
+
+		NoCBytesPerCycle: 32,
+
+		CCWSVictimTagEntries: 16,
+		CCWSBaseScore:        100,
+		CCWSScoreDecay:       16,
+
+		MASCARSaturationMSHRs: 56,
+
+		LAWSWGTEntries:   3,
+		SAPPTEntries:     10,
+		SAPDRQEntries:    32,
+		LAWSTailDemotion: true,
+		APRESCoupling:    false,
+		SAPStrideGate:    true,
+
+		MaxCycles: 0,
+	}
+}
+
+// APRES returns the paper's APRES configuration: LAWS scheduling plus SAP
+// prefetching with the cooperative coupling enabled.
+func APRES() Config {
+	c := Baseline()
+	c.Scheduler = SchedLAWS
+	c.Prefetcher = PrefSAP
+	c.APRESCoupling = true
+	return c
+}
+
+// WithScheduler returns a copy of c using the given scheduler.
+func (c Config) WithScheduler(s SchedulerKind) Config {
+	c.Scheduler = s
+	return c
+}
+
+// WithPrefetcher returns a copy of c using the given prefetcher.
+func (c Config) WithPrefetcher(p PrefetcherKind) Config {
+	c.Prefetcher = p
+	return c
+}
+
+// Validate reports configuration errors before a simulation is built.
+func (c Config) Validate() error {
+	switch {
+	case c.NumSMs <= 0:
+		return fmt.Errorf("config: NumSMs must be positive, got %d", c.NumSMs)
+	case c.WarpsPerSM <= 0 || c.WarpsPerSM > 64:
+		return fmt.Errorf("config: WarpsPerSM must be in 1..64, got %d", c.WarpsPerSM)
+	case c.PipelineDepth <= 0:
+		return fmt.Errorf("config: PipelineDepth must be positive, got %d", c.PipelineDepth)
+	case c.L1SizeBytes <= 0 || c.L1Ways <= 0:
+		return fmt.Errorf("config: invalid L1 geometry %dB/%d-way", c.L1SizeBytes, c.L1Ways)
+	case c.L1SizeBytes%(c.L1Ways*128) != 0:
+		return fmt.Errorf("config: L1 size %dB not divisible into %d ways of 128B lines", c.L1SizeBytes, c.L1Ways)
+	case c.L2SizeBytes <= 0 || c.L2Ways <= 0:
+		return fmt.Errorf("config: invalid L2 geometry %dB/%d-way", c.L2SizeBytes, c.L2Ways)
+	case c.L1MSHRs <= 0 || c.L2MSHRs <= 0:
+		return fmt.Errorf("config: MSHR counts must be positive")
+	case c.DRAMPartitions <= 0:
+		return fmt.Errorf("config: DRAMPartitions must be positive, got %d", c.DRAMPartitions)
+	case c.DRAMServiceInterval <= 0:
+		return fmt.Errorf("config: DRAMServiceInterval must be positive, got %d", c.DRAMServiceInterval)
+	case c.NoCBytesPerCycle <= 0:
+		return fmt.Errorf("config: NoCBytesPerCycle must be positive, got %d", c.NoCBytesPerCycle)
+	case c.LAWSWGTEntries <= 0 || c.SAPPTEntries <= 0 || c.SAPDRQEntries <= 0:
+		return fmt.Errorf("config: APRES structure sizes must be positive")
+	}
+	switch c.Scheduler {
+	case SchedLRR, SchedGTO, SchedTwoLevel, SchedCCWS, SchedMASCAR, SchedPA, SchedLAWS:
+	default:
+		return fmt.Errorf("config: unknown scheduler %q", c.Scheduler)
+	}
+	switch c.Prefetcher {
+	case PrefNone, PrefSTR, PrefSLD, PrefSAP:
+	default:
+		return fmt.Errorf("config: unknown prefetcher %q", c.Prefetcher)
+	}
+	if c.APRESCoupling && (c.Scheduler != SchedLAWS || c.Prefetcher != PrefSAP) {
+		return fmt.Errorf("config: APRESCoupling requires scheduler=laws and prefetcher=sap, got %s+%s", c.Scheduler, c.Prefetcher)
+	}
+	return nil
+}

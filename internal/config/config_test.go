@@ -1,0 +1,89 @@
+package config
+
+import "testing"
+
+func TestBaselineMatchesTableIII(t *testing.T) {
+	c := Baseline()
+	if c.NumSMs != 15 {
+		t.Errorf("NumSMs = %d, want 15", c.NumSMs)
+	}
+	if c.WarpsPerSM != 48 {
+		t.Errorf("WarpsPerSM = %d, want 48", c.WarpsPerSM)
+	}
+	if c.L1SizeBytes != 32*1024 || c.L1Ways != 8 || c.L1MSHRs != 64 {
+		t.Errorf("L1 geometry %d/%d/%d, want 32KiB/8-way/64 MSHRs", c.L1SizeBytes, c.L1Ways, c.L1MSHRs)
+	}
+	if c.L2SizeBytes != 768*1024 || c.L2Ways != 8 || c.L2Latency != 200 {
+		t.Errorf("L2 geometry wrong: %+v", c)
+	}
+	if c.DRAMPartitions != 6 || c.DRAMLatency != 440 {
+		t.Errorf("DRAM config wrong: %d partitions, %d latency", c.DRAMPartitions, c.DRAMLatency)
+	}
+	if c.Scheduler != SchedLRR || c.Prefetcher != PrefNone {
+		t.Errorf("baseline must be LRR without prefetching")
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("baseline invalid: %v", err)
+	}
+}
+
+func TestAPRESConfig(t *testing.T) {
+	c := APRES()
+	if c.Scheduler != SchedLAWS || c.Prefetcher != PrefSAP || !c.APRESCoupling {
+		t.Errorf("APRES config wrong: %+v", c)
+	}
+	if c.LAWSWGTEntries != 3 || c.SAPPTEntries != 10 || c.SAPDRQEntries != 32 {
+		t.Errorf("APRES structure sizes differ from Table II: %+v", c)
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("APRES config invalid: %v", err)
+	}
+}
+
+func TestWithHelpersDoNotMutate(t *testing.T) {
+	base := Baseline()
+	_ = base.WithScheduler(SchedGTO).WithPrefetcher(PrefSTR)
+	if base.Scheduler != SchedLRR || base.Prefetcher != PrefNone {
+		t.Error("With helpers mutated the receiver")
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero SMs", func(c *Config) { c.NumSMs = 0 }},
+		{"too many warps", func(c *Config) { c.WarpsPerSM = 65 }},
+		{"zero pipeline", func(c *Config) { c.PipelineDepth = 0 }},
+		{"bad L1", func(c *Config) { c.L1SizeBytes = 100 }},
+		{"zero MSHRs", func(c *Config) { c.L1MSHRs = 0 }},
+		{"zero partitions", func(c *Config) { c.DRAMPartitions = 0 }},
+		{"zero service", func(c *Config) { c.DRAMServiceInterval = 0 }},
+		{"zero noc", func(c *Config) { c.NoCBytesPerCycle = 0 }},
+		{"unknown scheduler", func(c *Config) { c.Scheduler = "nope" }},
+		{"unknown prefetcher", func(c *Config) { c.Prefetcher = "nope" }},
+		{"zero WGT", func(c *Config) { c.LAWSWGTEntries = 0 }},
+		{"coupling without laws", func(c *Config) { c.APRESCoupling = true }},
+	}
+	for _, tc := range cases {
+		c := Baseline()
+		tc.mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid config", tc.name)
+		}
+	}
+}
+
+func TestCouplingRequiresLAWSAndSAP(t *testing.T) {
+	c := Baseline()
+	c.APRESCoupling = true
+	c.Scheduler = SchedLAWS
+	if err := c.Validate(); err == nil {
+		t.Error("coupling with non-SAP prefetcher accepted")
+	}
+	c.Prefetcher = PrefSAP
+	if err := c.Validate(); err != nil {
+		t.Errorf("valid APRES coupling rejected: %v", err)
+	}
+}

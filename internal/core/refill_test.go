@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"apres/internal/config"
+	"apres/internal/kernel"
+)
+
+func refillKernel(concurrent, launches, iters int) kernel.Kernel {
+	return kernel.Kernel{
+		Name:             "refill",
+		WarpsPerSM:       concurrent,
+		LaunchWarpsPerSM: launches,
+		Program: kernel.Program{
+			Iterations: iters,
+			Body: []kernel.Inst{
+				{Op: kernel.OpLoad, PC: 0x10, Pattern: kernel.Pattern{
+					Base: 1 << 28, WarpStride: 4096, IterStride: 4096 * 1024, LaneStride: 4,
+				}},
+				{Op: kernel.OpALU, DependsOnMem: true},
+			},
+		},
+	}
+}
+
+func TestWarpRefillRunsAllLaunches(t *testing.T) {
+	cfg := config.Baseline()
+	k := refillKernel(4, 10, 3)
+	r := newRig(t, cfg, k)
+	r.run(t, 500000)
+	// 10 logical warps x 3 iterations x 2 instructions.
+	want := int64(10 * 3 * 2)
+	if r.smSt.Instructions != want {
+		t.Fatalf("instructions = %d, want %d (all launches must run)", r.smSt.Instructions, want)
+	}
+	// 10 logical warps each touch 3 distinct lines.
+	if r.smSt.L1Accesses != 30 {
+		t.Fatalf("accesses = %d, want 30", r.smSt.L1Accesses)
+	}
+}
+
+func TestWarpRefillUsesFreshLogicalIDs(t *testing.T) {
+	cfg := config.Baseline()
+	k := refillKernel(2, 6, 1)
+	r := newRig(t, cfg, k)
+	r.sm.CollectLoadStats = true
+	r.run(t, 500000)
+	ls := r.sm.LoadStats()[0x10]
+	if ls == nil {
+		t.Fatal("no load stats")
+	}
+	// Six distinct logical warps at stride 4096 touch 6 distinct lines.
+	if ls.UniqueLines != 6 {
+		t.Fatalf("unique lines = %d, want 6 (one per logical warp)", ls.UniqueLines)
+	}
+	// The dominant observed inter-warp stride must reflect logical IDs.
+	if stride, _ := ls.DominantStride(); stride != 4096 {
+		t.Fatalf("stride = %d, want 4096", stride)
+	}
+}
+
+func TestNoRefillWhenLaunchesEqualSlots(t *testing.T) {
+	cfg := config.Baseline()
+	k := refillKernel(4, 4, 2)
+	r := newRig(t, cfg, k)
+	r.run(t, 500000)
+	want := int64(4 * 2 * 2)
+	if r.smSt.Instructions != want {
+		t.Fatalf("instructions = %d, want %d", r.smSt.Instructions, want)
+	}
+}
+
+func TestRefillWorksUnderEveryScheduler(t *testing.T) {
+	for _, sched := range []config.SchedulerKind{
+		config.SchedLRR, config.SchedGTO, config.SchedTwoLevel,
+		config.SchedCCWS, config.SchedMASCAR, config.SchedPA, config.SchedLAWS,
+	} {
+		cfg := config.Baseline().WithScheduler(sched)
+		k := refillKernel(3, 9, 2)
+		r := newRig(t, cfg, k)
+		r.run(t, 1000000)
+		want := int64(9 * 2 * 2)
+		if r.smSt.Instructions != want {
+			t.Fatalf("%s: instructions = %d, want %d", sched, r.smSt.Instructions, want)
+		}
+	}
+}

@@ -1,0 +1,640 @@
+// Package core implements the streaming multiprocessor (SM) timing model:
+// warp contexts walking a kernel program, a warp scheduler, a scoreboard
+// (memory-dependence and pipeline-latency stalls), a load-store unit with
+// memory request coalescing, the L1 data cache with MSHRs, and the
+// prefetcher. It is also where APRES is wired together: the core routes L1
+// results to LAWS, forwards missed warp groups to SAP, injects SAP's
+// prefetches, and hands SAP's target warps back to LAWS for prioritisation
+// (Figure 5 of the paper).
+package core
+
+import (
+	"fmt"
+
+	"apres/internal/arch"
+	"apres/internal/config"
+	"apres/internal/dram"
+	"apres/internal/kernel"
+	"apres/internal/mem"
+	"apres/internal/prefetch"
+	"apres/internal/sched"
+	"apres/internal/stats"
+)
+
+// lsuQueueMax is the LSU input queue depth; issue of new memory
+// instructions back-pressures when it fills.
+const lsuQueueMax = 64
+
+// pfQueueMax bounds the prefetch injection queue.
+const pfQueueMax = 128
+
+// warpCtx is the architectural state of one hardware warp slot.
+type warpCtx struct {
+	walker kernel.Walker
+	// wid is the logical warp ID currently occupying the slot; it grows
+	// past the slot count as finished warps are replaced (CTA refill).
+	wid         arch.WarpID
+	nextIssue   int64 // earliest cycle the warp may issue again
+	outstanding int   // in-flight demand line requests
+	done        bool
+}
+
+// lsuOp is one line-granular memory operation queued at the LSU.
+type lsuOp struct {
+	req  arch.MemReq
+	addr arch.Addr // lead byte address (prefetcher/scheduler signalling)
+	// wid is the logical warp ID that issued the op (stride arithmetic).
+	wid arch.WarpID
+	// lead marks the first line of a coalesced load: scheduler and
+	// prefetcher feedback fires once per load instruction.
+	lead  bool
+	group int // LAWS WGT id carried from issue to cache result
+}
+
+// completion is a scheduled hit-latency expiry.
+type completion struct {
+	cycle int64
+	warp  arch.WarpID
+}
+
+// pfAccuracy tracks per-static-load prefetch usefulness; both STR/SLD and
+// SAP are adaptive (Section V.E: prefetches are issued "only when ... the
+// address prediction is likely to be correct"), so the SM stops issuing
+// prefetches for loads whose predictions keep going unused.
+type pfAccuracy struct {
+	issued, good, bad int
+}
+
+// blocked reports whether the load's prefetches should be suppressed: a
+// load must keep roughly two useful prefetches per wasted one.
+func (a *pfAccuracy) blocked() bool {
+	return a.issued >= 48 && a.good < 2*a.bad
+}
+
+// decayIfFull halves the counters periodically so a load can recover.
+func (a *pfAccuracy) decayIfFull() {
+	if a.issued >= 512 {
+		a.issued /= 2
+		a.good /= 2
+		a.bad /= 2
+	}
+}
+
+// LoadStat is the per-static-load characterisation record behind Table I.
+type LoadStat struct {
+	// PC is the static load address.
+	PC arch.PC
+	// Refs counts line references after coalescing.
+	Refs int64
+	// Misses counts L1 misses (including MSHR merges).
+	Misses int64
+	// UniqueLines counts distinct lines referenced (#L in #L/#R).
+	UniqueLines int64
+	// StrideHist histograms the observed inter-warp strides
+	// (address delta divided by warp-ID delta).
+	StrideHist map[int64]int64
+	// StrideSamples counts stride observations.
+	StrideSamples int64
+
+	seen     map[arch.LineAddr]struct{}
+	lastWarp arch.WarpID
+	lastAddr arch.Addr
+	hasLast  bool
+}
+
+// DominantStride returns the most frequent stride and its share of samples.
+func (l *LoadStat) DominantStride() (stride int64, share float64) {
+	var best int64
+	var bestN int64 = -1
+	for s, n := range l.StrideHist {
+		if n > bestN || (n == bestN && s < best) {
+			best, bestN = s, n
+		}
+	}
+	if l.StrideSamples == 0 {
+		return 0, 0
+	}
+	return best, float64(bestN) / float64(l.StrideSamples)
+}
+
+// LinesPerRef returns #L/#R: unique lines over references.
+func (l *LoadStat) LinesPerRef() float64 {
+	if l.Refs == 0 {
+		return 0
+	}
+	return float64(l.UniqueLines) / float64(l.Refs)
+}
+
+// MissRate returns the load's L1 miss rate.
+func (l *LoadStat) MissRate() float64 {
+	if l.Refs == 0 {
+		return 0
+	}
+	return float64(l.Misses) / float64(l.Refs)
+}
+
+// SM is one streaming multiprocessor.
+type SM struct {
+	id   int
+	cfg  config.Config
+	kern kernel.Kernel
+
+	Sched sched.Scheduler
+	pf    prefetch.Prefetcher
+	sap   *prefetch.SAP // non-nil only under APRES coupling
+	l1    *mem.Cache
+	mem   *dram.MemSystem
+
+	warps       []warpCtx
+	alive       int
+	nextLaunch  int
+	totalLaunch int
+	lsuQ        []lsuOp
+	pfQ         []prefetch.Request
+	pfQueued    map[arch.LineAddr]struct{}
+	pfAcc       map[arch.PC]*pfAccuracy
+	completions []completion
+
+	st *stats.Stats
+
+	// CollectLoadStats enables per-PC characterisation (Table I).
+	CollectLoadStats bool
+	loadStats        map[arch.PC]*LoadStat
+
+	laneBuf []arch.Addr
+	lineBuf []arch.LineAddr
+}
+
+// NewSM builds an SM running the given kernel slice. The scheduler is
+// constructed here so it can observe the SM through the View interface.
+func NewSM(id int, cfg config.Config, kern kernel.Kernel, memSys *dram.MemSystem, st *stats.Stats) (*SM, error) {
+	nWarps := kern.WarpsPerSM
+	if nWarps <= 0 || nWarps > cfg.WarpsPerSM {
+		nWarps = cfg.WarpsPerSM
+	}
+	sm := &SM{
+		id:        id,
+		cfg:       cfg,
+		kern:      kern,
+		l1:        mem.NewCache(fmt.Sprintf("L1.%d", id), cfg.L1SizeBytes, cfg.L1Ways, cfg.L1MSHRs),
+		mem:       memSys,
+		warps:     make([]warpCtx, nWarps),
+		alive:     nWarps,
+		pfQueued:  make(map[arch.LineAddr]struct{}),
+		pfAcc:     make(map[arch.PC]*pfAccuracy),
+		st:        st,
+		loadStats: make(map[arch.PC]*LoadStat),
+		laneBuf:   make([]arch.Addr, arch.WarpSize),
+	}
+	sm.totalLaunch = kern.TotalLaunches()
+	sm.nextLaunch = nWarps
+	if sm.totalLaunch < nWarps {
+		sm.totalLaunch = nWarps
+	}
+	for i := range sm.warps {
+		sm.warps[i].wid = arch.WarpID(i)
+		sm.warps[i].walker = kernel.NewWalker(&sm.kern.Program, arch.WarpID(i))
+	}
+	s, err := sched.New(cfg, nWarps, sm)
+	if err != nil {
+		return nil, err
+	}
+	sm.Sched = s
+	if cfg.APRESCoupling {
+		sm.sap = prefetch.NewSAP(cfg.SAPPTEntries, cfg.SAPDRQEntries, cfg.SAPStrideGate)
+	} else {
+		p, err := prefetch.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		sm.pf = p
+	}
+	return sm, nil
+}
+
+// MemSaturated implements sched.View for MASCAR.
+func (sm *SM) MemSaturated() bool {
+	return sm.l1.MSHRCount() >= sm.cfg.MASCARSaturationMSHRs
+}
+
+// NextIsMem implements sched.View.
+func (sm *SM) NextIsMem(w arch.WarpID) bool {
+	wc := &sm.warps[w]
+	if wc.done {
+		return false
+	}
+	op := wc.walker.Peek().Op
+	return op == kernel.OpLoad || op == kernel.OpStore
+}
+
+// Done reports whether all warps have exited and no local work remains.
+func (sm *SM) Done() bool {
+	return sm.alive == 0 && len(sm.lsuQ) == 0 && len(sm.completions) == 0
+}
+
+// Stats returns the SM's counters.
+func (sm *SM) Stats() *stats.Stats { return sm.st }
+
+// LoadStats returns the per-PC characterisation records (Table I); only
+// populated when CollectLoadStats is set.
+func (sm *SM) LoadStats() map[arch.PC]*LoadStat { return sm.loadStats }
+
+// L1 exposes the L1 cache (for tests and end-of-run accounting).
+func (sm *SM) L1() *mem.Cache { return sm.l1 }
+
+// HandleFill delivers a memory response to the L1.
+func (sm *SM) HandleFill(r dram.Response, cycle int64) {
+	fo := sm.l1.Fill(r.Req.Line, cycle)
+	if fo.Entry == nil {
+		return
+	}
+	e := fo.Entry
+	if e.Prefetch {
+		sm.st.PrefetchFills++
+		if fo.PrefetchCompletedUseful {
+			sm.st.PrefetchUseful++
+		}
+	}
+	if fo.VictimValid {
+		sm.Sched.OnLineEvicted(fo.VictimOwner, fo.VictimTag)
+		if fo.VictimUnusedPrefetch {
+			sm.notePrefetchOutcome(fo.VictimPrefetchPC, false)
+		}
+	}
+	for _, w := range e.Waiters {
+		if w.Kind != arch.AccessLoad {
+			continue
+		}
+		sm.warps[w.Warp].outstanding--
+		sm.st.MemLatencySum += cycle - w.IssueCycle
+		sm.st.MemLatencyCount++
+	}
+}
+
+// Tick advances the SM by one cycle: expire hit completions, process one
+// LSU operation, then issue one instruction.
+func (sm *SM) Tick(cycle int64) {
+	sm.st.Cycles = cycle + 1
+	sm.expireCompletions(cycle)
+	sm.lsuTick(cycle)
+	sm.issueTick(cycle)
+}
+
+func (sm *SM) expireCompletions(cycle int64) {
+	n := 0
+	for _, c := range sm.completions {
+		if c.cycle > cycle {
+			break
+		}
+		sm.warps[c.warp].outstanding--
+		n++
+	}
+	if n > 0 {
+		sm.completions = sm.completions[n:]
+		if len(sm.completions) == 0 {
+			sm.completions = nil
+		}
+	}
+}
+
+// readyMask computes the set of warps able to issue this cycle.
+func (sm *SM) readyMask(cycle int64) arch.WarpMask {
+	var m arch.WarpMask
+	lsuFull := len(sm.lsuQ) >= lsuQueueMax
+	for i := range sm.warps {
+		wc := &sm.warps[i]
+		if wc.done || wc.nextIssue > cycle {
+			continue
+		}
+		in := wc.walker.Peek()
+		if in.DependsOnMem && wc.outstanding > 0 {
+			continue
+		}
+		if (in.Op == kernel.OpLoad || in.Op == kernel.OpStore) && lsuFull {
+			continue
+		}
+		m = m.Set(arch.WarpID(i))
+	}
+	return m
+}
+
+func (sm *SM) issueTick(cycle int64) {
+	ready := sm.readyMask(cycle)
+	if ready == 0 {
+		sm.st.IssueStallCycles++
+		return
+	}
+	w, ok := sm.Sched.Pick(ready, cycle)
+	if !ok {
+		sm.st.IssueStallCycles++
+		return
+	}
+	wc := &sm.warps[w]
+	in := wc.walker.Peek()
+	sm.st.Instructions++
+	sm.st.RegFileAccesses++
+	// The paper's 8-cycle issue-to-execute latency applies to dependent
+	// instruction pairs: memory operations (address RAW) and the
+	// dependent first use of loaded data. Independent instructions in a
+	// burst issue back to back.
+	if in.Op == kernel.OpLoad || in.Op == kernel.OpStore || in.DependsOnMem {
+		wc.nextIssue = cycle + int64(sm.cfg.PipelineDepth)
+	} else {
+		wc.nextIssue = cycle + 1
+	}
+
+	switch in.Op {
+	case kernel.OpALU:
+		// Pipeline latency already modelled by nextIssue.
+	case kernel.OpShared:
+		sm.st.SharedMemAccesses++
+	case kernel.OpLoad:
+		sm.issueMemOp(w, wc, in, arch.AccessLoad, cycle)
+	case kernel.OpStore:
+		sm.issueMemOp(w, wc, in, arch.AccessStore, cycle)
+	}
+
+	wc.walker.Advance()
+	if wc.walker.Done() && !wc.done {
+		if sm.nextLaunch < sm.totalLaunch {
+			// CTA refill: a fresh logical warp takes over the slot.
+			wid := arch.WarpID(sm.nextLaunch)
+			sm.nextLaunch++
+			wc.wid = wid
+			wc.walker = kernel.NewWalker(&sm.kern.Program, wid)
+			wc.nextIssue = cycle + int64(sm.cfg.PipelineDepth)
+			sm.Sched.OnWarpRelaunched(w)
+		} else {
+			wc.done = true
+			sm.alive--
+			sm.Sched.OnWarpFinished(w)
+		}
+	}
+}
+
+func (sm *SM) issueMemOp(w arch.WarpID, wc *warpCtx, in *kernel.Inst, kind arch.AccessKind, cycle int64) {
+	iter := wc.walker.Iter()
+	in.Pattern.LaneAddrs(sm.laneBuf, sm.id, wc.wid, iter)
+	sm.lineBuf = kernel.Coalesce(sm.lineBuf, sm.laneBuf)
+	group := sched.NoGroup
+	if kind == arch.AccessLoad {
+		group = sm.Sched.OnLoadIssued(w, in.PC)
+		if group != sched.NoGroup {
+			// LLT lookup + WGT allocation.
+			sm.st.APRESTableAccesses += 2
+		}
+		if sm.CollectLoadStats {
+			sm.recordLoad(in.PC, wc.wid, sm.laneBuf[0], len(sm.lineBuf))
+		}
+	}
+	for i, l := range sm.lineBuf {
+		op := lsuOp{
+			req: arch.MemReq{
+				Line:       l,
+				Kind:       kind,
+				Warp:       w,
+				PC:         in.PC,
+				SM:         sm.id,
+				IssueCycle: cycle,
+			},
+			addr:  sm.laneBuf[0],
+			wid:   wc.wid,
+			lead:  i == 0 && kind == arch.AccessLoad,
+			group: group,
+		}
+		sm.lsuQ = append(sm.lsuQ, op)
+		if kind == arch.AccessLoad {
+			wc.outstanding++
+		}
+	}
+}
+
+// lsuTick processes one demand operation and one queued prefetch per cycle
+// (the prefetcher has its own L1 injection port so demand bursts cannot
+// starve it into always-late prefetches).
+func (sm *SM) lsuTick(cycle int64) {
+	if len(sm.lsuQ) > 0 {
+		op := sm.lsuQ[0]
+		if sm.processDemand(op, cycle) {
+			sm.lsuQ = sm.lsuQ[1:]
+			if len(sm.lsuQ) == 0 {
+				sm.lsuQ = nil
+			}
+		}
+	}
+	if len(sm.pfQ) > 0 {
+		r := sm.pfQ[0]
+		if sm.processPrefetch(r, cycle) {
+			delete(sm.pfQueued, r.Addr.Line())
+			sm.pfQ = sm.pfQ[1:]
+			if len(sm.pfQ) == 0 {
+				sm.pfQ = nil
+			}
+		}
+	}
+}
+
+// processDemand returns false if the access stalled and must retry.
+func (sm *SM) processDemand(op lsuOp, cycle int64) bool {
+	if op.req.Kind == arch.AccessStore {
+		// Write-through, no-allocate: straight to the memory system.
+		sm.mem.Request(op.req, cycle)
+		return true
+	}
+	prevHit, prevKnown := sm.l1.LastDemandWasHit()
+	out := sm.l1.Access(op.req, cycle)
+	switch out.Result {
+	case arch.ResultStall:
+		sm.st.L1Stalls++
+		return false
+	case arch.ResultHit:
+		sm.st.L1Accesses++
+		sm.st.L1Hits++
+		if prevKnown && prevHit {
+			sm.st.L1HitAfterHit++
+		} else {
+			sm.st.L1HitAfterMiss++
+		}
+		if out.FirstUseOfPrefetch {
+			sm.st.PrefetchUseful++
+			sm.notePrefetchOutcome(out.PrefetchPC, true)
+		}
+		sm.completions = append(sm.completions, completion{
+			cycle: cycle + int64(sm.cfg.L1HitLatency),
+			warp:  op.req.Warp,
+		})
+	case arch.ResultMiss:
+		sm.st.L1Accesses++
+		sm.countMiss(out)
+		sm.mem.Request(op.req, cycle)
+	case arch.ResultMergedMSHR:
+		sm.st.L1Accesses++
+		sm.st.L1MSHRMerges++
+		if out.MergedIntoPrefetch {
+			sm.st.L1PrefetchMerges++
+			if out.Entry != nil {
+				sm.notePrefetchOutcome(out.Entry.PC, true)
+			}
+		}
+		if out.ProvesEarlyEviction {
+			sm.st.PrefetchEarlyEvicted++
+		}
+	}
+	if sm.CollectLoadStats && out.Result != arch.ResultHit {
+		if ls := sm.loadStats[op.req.PC]; ls != nil {
+			ls.Misses++
+		}
+	}
+	if op.lead {
+		sm.onLeadResult(op, out.Result == arch.ResultHit, cycle)
+	}
+	return true
+}
+
+func (sm *SM) countMiss(out mem.Outcome) {
+	switch out.Class {
+	case arch.MissCold:
+		sm.st.L1ColdMisses++
+	case arch.MissCapacityConflict:
+		sm.st.L1CapConfMisses++
+	}
+	if out.ProvesEarlyEviction {
+		sm.st.PrefetchEarlyEvicted++
+	}
+}
+
+// onLeadResult drives the scheduler/prefetcher feedback loop once per load
+// instruction, using the lead line's L1 outcome (Figure 5's LSU feedback).
+func (sm *SM) onLeadResult(op lsuOp, hit bool, cycle int64) {
+	group := sm.Sched.OnCacheResult(op.req.Warp, op.req.PC, op.req.Line, hit, op.group)
+	if sm.sap != nil {
+		if !hit && group != 0 {
+			// PT lookup + WQ/DRQ writes.
+			sm.st.APRESTableAccesses += 3
+			targets := make([]prefetch.Target, 0, group.Count())
+			for _, slot := range group.Warps() {
+				if int(slot) < len(sm.warps) && !sm.warps[slot].done {
+					targets = append(targets, prefetch.Target{Slot: slot, Wid: sm.warps[slot].wid})
+				}
+			}
+			reqs := sm.sap.OnGroupMiss(op.req.PC, op.wid, op.addr, targets, cycle)
+			if len(reqs) > 0 {
+				var targets arch.WarpMask
+				for _, r := range reqs {
+					targets = targets.Set(r.Warp)
+				}
+				sm.enqueuePrefetches(reqs)
+				// SAP sends the prefetched warp IDs back to LAWS
+				// for prioritisation (Section IV.B).
+				sm.Sched.PrioritizeWarps(targets)
+			}
+		}
+		return
+	}
+	if sm.pf != nil {
+		sm.enqueuePrefetches(sm.pf.OnAccess(op.req.PC, op.wid, op.req.Warp, op.addr, hit))
+	}
+}
+
+// enqueuePrefetches queues prefetch requests, silently squashing ones whose
+// line is already resident, in flight, or queued (the hardware's MSHR/tag
+// probe at prefetch generation).
+func (sm *SM) enqueuePrefetches(reqs []prefetch.Request) {
+	for _, r := range reqs {
+		line := r.Addr.Line()
+		if sm.l1.Contains(line) || sm.l1.InFlight(line) {
+			continue
+		}
+		if _, queued := sm.pfQueued[line]; queued {
+			continue
+		}
+		if acc := sm.pfAcc[r.PC]; acc != nil && acc.blocked() {
+			sm.st.PrefetchDropped++
+			continue
+		}
+		if len(sm.pfQ) >= pfQueueMax {
+			sm.st.PrefetchDropped++
+			continue
+		}
+		sm.pfQueued[line] = struct{}{}
+		sm.pfQ = append(sm.pfQ, r)
+	}
+}
+
+// processPrefetch returns false if the L1 stalled the prefetch.
+func (sm *SM) processPrefetch(r prefetch.Request, cycle int64) bool {
+	req := arch.MemReq{
+		Line:       r.Addr.Line(),
+		Kind:       arch.AccessPrefetch,
+		Warp:       r.Warp,
+		PC:         r.PC,
+		SM:         sm.id,
+		IssueCycle: cycle,
+	}
+	out := sm.l1.Access(req, cycle)
+	switch out.Result {
+	case arch.ResultStall:
+		// Prefetches are best-effort: drop rather than block the LSU.
+		sm.st.PrefetchDropped++
+		return true
+	case arch.ResultHit, arch.ResultMergedMSHR:
+		sm.st.PrefetchDropped++
+		return true
+	case arch.ResultMiss:
+		sm.st.PrefetchIssued++
+		acc := sm.pfAcc[req.PC]
+		if acc == nil {
+			acc = &pfAccuracy{}
+			sm.pfAcc[req.PC] = acc
+		}
+		acc.issued++
+		acc.decayIfFull()
+		sm.mem.Request(req, cycle)
+		return true
+	}
+	return true
+}
+
+func (sm *SM) notePrefetchOutcome(pc arch.PC, good bool) {
+	acc := sm.pfAcc[pc]
+	if acc == nil {
+		return
+	}
+	if good {
+		acc.good++
+	} else {
+		acc.bad++
+	}
+}
+
+func (sm *SM) recordLoad(pc arch.PC, w arch.WarpID, addr arch.Addr, lines int) {
+	ls := sm.loadStats[pc]
+	if ls == nil {
+		ls = &LoadStat{
+			PC:         pc,
+			StrideHist: make(map[int64]int64),
+			seen:       make(map[arch.LineAddr]struct{}),
+		}
+		sm.loadStats[pc] = ls
+	}
+	ls.Refs += int64(lines)
+	for i := 0; i < lines; i++ {
+		l := sm.lineBuf[i]
+		if _, ok := ls.seen[l]; !ok {
+			ls.seen[l] = struct{}{}
+			ls.UniqueLines++
+		}
+	}
+	if ls.hasLast && w != ls.lastWarp {
+		stride := (int64(addr) - int64(ls.lastAddr)) / (int64(w) - int64(ls.lastWarp))
+		ls.StrideHist[stride]++
+		ls.StrideSamples++
+	}
+	ls.lastWarp, ls.lastAddr, ls.hasLast = w, addr, true
+}
+
+// FinalizePrefetchStats folds end-of-run prefetch outcomes (unused evicted
+// lines never demanded again) into the useless-prefetch counter.
+func (sm *SM) FinalizePrefetchStats() {
+	sm.st.PrefetchUseless += int64(sm.l1.UnresolvedEarlyEvictions())
+}

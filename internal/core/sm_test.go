@@ -1,0 +1,302 @@
+package core
+
+import (
+	"testing"
+
+	"apres/internal/arch"
+	"apres/internal/config"
+	"apres/internal/dram"
+	"apres/internal/kernel"
+	"apres/internal/noc"
+	"apres/internal/stats"
+)
+
+// rig wires one SM to a private memory system for driving tests.
+type rig struct {
+	sm     *SM
+	memSys *dram.MemSystem
+	net    *noc.Network
+	smSt   stats.Stats
+	gpuSt  stats.Stats
+}
+
+func newRig(t *testing.T, cfg config.Config, kern kernel.Kernel) *rig {
+	t.Helper()
+	r := &rig{}
+	cfg.NumSMs = 1
+	r.memSys = dram.New(cfg, &r.gpuSt)
+	r.net = noc.New(1, cfg.NoCBytesPerCycle, &r.gpuSt)
+	sm, err := NewSM(0, cfg, kern, r.memSys, &r.smSt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.sm = sm
+	return r
+}
+
+// run advances the rig until the SM finishes or maxCycles elapse, returning
+// the final cycle count.
+func (r *rig) run(t *testing.T, maxCycles int64) int64 {
+	t.Helper()
+	for cycle := int64(0); cycle < maxCycles; cycle++ {
+		for _, resp := range r.memSys.Tick(cycle) {
+			r.net.Enqueue(resp)
+		}
+		for _, resp := range r.net.Deliver(0, cycle) {
+			r.sm.HandleFill(resp, cycle)
+		}
+		if r.sm.Done() && r.memSys.Drained() && !r.net.Pending() {
+			return cycle
+		}
+		if !r.sm.Done() {
+			r.sm.Tick(cycle)
+		}
+	}
+	t.Fatalf("SM did not finish within %d cycles", maxCycles)
+	return 0
+}
+
+func aluOnly(n, iters int) kernel.Kernel {
+	return kernel.Kernel{
+		Name:       "alu",
+		WarpsPerSM: 4,
+		Program: kernel.Program{
+			Iterations: iters,
+			Body:       []kernel.Inst{{Op: kernel.OpALU, Repeat: n}},
+		},
+	}
+}
+
+func loadKernel(warps, iters int, p kernel.Pattern) kernel.Kernel {
+	return kernel.Kernel{
+		Name:       "ld",
+		WarpsPerSM: warps,
+		Program: kernel.Program{
+			Iterations: iters,
+			Body: []kernel.Inst{
+				{Op: kernel.OpLoad, PC: 0x10, Pattern: p},
+				{Op: kernel.OpALU, DependsOnMem: true},
+			},
+		},
+	}
+}
+
+func TestALUKernelCompletesWithFullIssueRate(t *testing.T) {
+	cfg := config.Baseline()
+	r := newRig(t, cfg, aluOnly(10, 5))
+	end := r.run(t, 100000)
+	wantInsts := int64(4 * 10 * 5)
+	if r.smSt.Instructions != wantInsts {
+		t.Fatalf("instructions = %d, want %d", r.smSt.Instructions, wantInsts)
+	}
+	// 4 warps x 8-cycle pipeline latency means the SM can fill at most
+	// half the issue slots; it must still finish in bounded time.
+	if end > 8*wantInsts {
+		t.Fatalf("took %d cycles for %d insts", end, wantInsts)
+	}
+	if r.smSt.L1Accesses != 0 {
+		t.Fatal("ALU kernel touched the L1")
+	}
+}
+
+func TestPipelineLatencyAppliesToDependentPairs(t *testing.T) {
+	cfg := config.Baseline()
+	// Independent ALU burst: one warp issues back to back.
+	k := aluOnly(20, 1)
+	k.WarpsPerSM = 1
+	r := newRig(t, cfg, k)
+	if end := r.run(t, 10000); end > 40 {
+		t.Fatalf("independent burst took %d cycles; want ~1/cycle issue", end)
+	}
+	// Dependent pairs (memory ops and dependent uses) pay the
+	// issue-to-execute latency.
+	dep := kernel.Kernel{
+		Name:       "dep",
+		WarpsPerSM: 1,
+		Program: kernel.Program{
+			Iterations: 10,
+			Body: []kernel.Inst{
+				{Op: kernel.OpALU},
+				{Op: kernel.OpALU, DependsOnMem: true},
+			},
+		},
+	}
+	r2 := newRig(t, cfg, dep)
+	if end := r2.run(t, 10000); end < int64(10*cfg.PipelineDepth) {
+		t.Fatalf("dependent chain finished in %d cycles; pipeline latency not modelled", end)
+	}
+}
+
+func TestLoadMissRoundTripAndLatencyAccounting(t *testing.T) {
+	cfg := config.Baseline()
+	r := newRig(t, cfg, loadKernel(1, 1, kernel.Pattern{Base: 1 << 20, LaneStride: 4}))
+	r.run(t, 100000)
+	if r.smSt.L1Accesses != 1 || r.smSt.L1ColdMisses != 1 {
+		t.Fatalf("acc=%d cold=%d, want 1/1", r.smSt.L1Accesses, r.smSt.L1ColdMisses)
+	}
+	if r.smSt.MemLatencyCount != 1 {
+		t.Fatalf("latency samples = %d, want 1", r.smSt.MemLatencyCount)
+	}
+	minLat := int64(cfg.DRAMLatency)
+	if r.smSt.MemLatencySum < minLat {
+		t.Fatalf("latency %d < DRAM minimum %d", r.smSt.MemLatencySum, minLat)
+	}
+}
+
+func TestRepeatedLoadHitsAfterFill(t *testing.T) {
+	cfg := config.Baseline()
+	// One warp loads the same line 20 times.
+	r := newRig(t, cfg, loadKernel(1, 20, kernel.Pattern{Base: 1 << 20, LaneStride: 4}))
+	r.run(t, 200000)
+	if r.smSt.L1Hits != 19 {
+		t.Fatalf("hits = %d, want 19 (first access misses)", r.smSt.L1Hits)
+	}
+	if r.smSt.L1HitAfterHit != 18 {
+		t.Fatalf("hit-after-hit = %d, want 18", r.smSt.L1HitAfterHit)
+	}
+	if r.smSt.L1HitAfterMiss != 1 {
+		t.Fatalf("hit-after-miss = %d, want 1", r.smSt.L1HitAfterMiss)
+	}
+}
+
+func TestInterWarpMergesShareOneFill(t *testing.T) {
+	cfg := config.Baseline()
+	// 8 warps all load the same line once.
+	r := newRig(t, cfg, loadKernel(8, 1, kernel.Pattern{Base: 1 << 20, LaneStride: 4}))
+	r.run(t, 100000)
+	if r.gpuSt.DRAMAccesses != 1 {
+		t.Fatalf("DRAM accesses = %d, want 1 (merged)", r.gpuSt.DRAMAccesses)
+	}
+	missLike := r.smSt.L1ColdMisses + r.smSt.L1MSHRMerges + r.smSt.L1Hits
+	if missLike != 8 {
+		t.Fatalf("accounted accesses = %d, want 8", missLike)
+	}
+}
+
+func TestUncoalescedLoadGenerates32Requests(t *testing.T) {
+	cfg := config.Baseline()
+	r := newRig(t, cfg, loadKernel(1, 1, kernel.Pattern{Base: 1 << 20, LaneStride: arch.LineSizeBytes}))
+	r.run(t, 100000)
+	if r.smSt.L1Accesses != 32 {
+		t.Fatalf("accesses = %d, want 32 (uncoalesced)", r.smSt.L1Accesses)
+	}
+}
+
+func TestStoreProducesDRAMTrafficWithoutBlocking(t *testing.T) {
+	cfg := config.Baseline()
+	k := kernel.Kernel{
+		Name:       "st",
+		WarpsPerSM: 2,
+		Program: kernel.Program{
+			Iterations: 3,
+			Body: []kernel.Inst{
+				{Op: kernel.OpStore, PC: 0x20, Pattern: kernel.Pattern{
+					Base: 1 << 20, WarpStride: 4096, IterStride: 4096 * 2, LaneStride: 4,
+				}},
+				{Op: kernel.OpALU},
+			},
+		},
+	}
+	r := newRig(t, cfg, k)
+	end := r.run(t, 100000)
+	if r.gpuSt.DRAMAccesses != 6 {
+		t.Fatalf("DRAM accesses = %d, want 6", r.gpuSt.DRAMAccesses)
+	}
+	// Stores are fire-and-forget: no warp waits on them, so the kernel
+	// must complete quickly (well under a DRAM round trip per store).
+	if end > 2000 {
+		t.Fatalf("store kernel took %d cycles; stores appear to block", end)
+	}
+}
+
+func TestDependsOnMemBlocksUntilFill(t *testing.T) {
+	cfg := config.Baseline()
+	k := loadKernel(1, 1, kernel.Pattern{Base: 1 << 20, LaneStride: 4})
+	r := newRig(t, cfg, k)
+	end := r.run(t, 100000)
+	// The dependent ALU cannot issue before the fill: total time must
+	// exceed the DRAM latency.
+	if end < int64(cfg.DRAMLatency) {
+		t.Fatalf("finished in %d cycles; dependency on memory not enforced", end)
+	}
+}
+
+func TestAPRESCouplingIssuesTargetedPrefetches(t *testing.T) {
+	cfg := config.APRES()
+	// 8 warps stream with a regular inter-warp stride: after the head
+	// misses repeat, SAP must generate prefetches for grouped warps.
+	p := kernel.Pattern{Base: 1 << 24, WarpStride: 4096, IterStride: 4096 * 8, LaneStride: 4}
+	r := newRig(t, cfg, loadKernel(8, 30, p))
+	r.run(t, 400000)
+	if r.smSt.PrefetchIssued == 0 {
+		t.Fatal("APRES issued no prefetches on a regular inter-warp stride")
+	}
+	useful := r.smSt.PrefetchUseful + r.smSt.L1PrefetchMerges
+	if useful == 0 {
+		t.Fatal("no prefetch was useful or merged with a demand")
+	}
+}
+
+func TestSTRPrefetcherRunsStandalone(t *testing.T) {
+	cfg := config.Baseline().WithPrefetcher(config.PrefSTR)
+	p := kernel.Pattern{Base: 1 << 24, WarpStride: 4096, IterStride: 4096 * 8, LaneStride: 4}
+	r := newRig(t, cfg, loadKernel(8, 30, p))
+	r.run(t, 400000)
+	if r.smSt.PrefetchIssued == 0 {
+		t.Fatal("STR issued no prefetches on a regular stride")
+	}
+}
+
+func TestLoadStatsCharacterisation(t *testing.T) {
+	cfg := config.Baseline()
+	p := kernel.Pattern{Base: 1 << 24, WarpStride: 4352, IterStride: 4352 * 4, LaneStride: 4}
+	r := newRig(t, cfg, loadKernel(4, 10, p))
+	r.sm.CollectLoadStats = true
+	r.run(t, 400000)
+	ls := r.sm.LoadStats()[0x10]
+	if ls == nil {
+		t.Fatal("no load stats recorded")
+	}
+	if ls.Refs != 40 {
+		t.Fatalf("refs = %d, want 40", ls.Refs)
+	}
+	if ls.LinesPerRef() != 1.0 {
+		t.Fatalf("#L/#R = %f, want 1.0 (pure stream)", ls.LinesPerRef())
+	}
+	stride, share := ls.DominantStride()
+	if stride != 4352 {
+		t.Fatalf("dominant stride = %d, want 4352", stride)
+	}
+	if share <= 0 {
+		t.Fatal("stride share must be positive")
+	}
+	if ls.MissRate() != 1.0 {
+		t.Fatalf("miss rate = %f, want 1.0", ls.MissRate())
+	}
+}
+
+func TestMemSaturatedView(t *testing.T) {
+	cfg := config.Baseline()
+	cfg.MASCARSaturationMSHRs = 1
+	r := newRig(t, cfg, loadKernel(4, 4, kernel.Pattern{
+		Base: 1 << 24, WarpStride: 4096, IterStride: 65536, LaneStride: 4,
+	}))
+	if r.sm.MemSaturated() {
+		t.Fatal("fresh SM reports saturation")
+	}
+	// Drive a few cycles to get an outstanding miss.
+	for cycle := int64(0); cycle < 50 && !r.sm.MemSaturated(); cycle++ {
+		r.sm.Tick(cycle)
+	}
+	if !r.sm.MemSaturated() {
+		t.Fatal("saturation not reported with outstanding MSHR")
+	}
+}
+
+func TestNextIsMemView(t *testing.T) {
+	cfg := config.Baseline()
+	r := newRig(t, cfg, loadKernel(2, 2, kernel.Pattern{Base: 1 << 24, LaneStride: 4}))
+	if !r.sm.NextIsMem(0) {
+		t.Fatal("first instruction is a load; NextIsMem must be true")
+	}
+}

@@ -1,0 +1,207 @@
+// Package dram models the shared memory system below the per-SM L1 caches:
+// a last-level cache split into partitions, each dedicated to one DRAM
+// partition (Section II of the paper), with MSHR merging at the L2, a
+// minimum DRAM latency, and finite per-partition service bandwidth that
+// creates the queueing delay the paper identifies as a key bottleneck.
+//
+// Timing model (Table III): an L1 miss that hits in an L2 partition is
+// filled after L2Latency cycles (interconnect included). An L2 miss begins
+// DRAM service no earlier than the partition's next free service slot
+// (one request per DRAMServiceInterval cycles), completes DRAMLatency
+// cycles later, fills the L2, and the response travels back in
+// L2Latency/2 cycles.
+package dram
+
+import (
+	"container/heap"
+
+	"apres/internal/arch"
+	"apres/internal/config"
+	"apres/internal/mem"
+	"apres/internal/stats"
+)
+
+// Response is a completed memory request on its way back to an SM's L1.
+type Response struct {
+	// Req is the original L1-level request (one Response is emitted per
+	// merged waiter).
+	Req arch.MemReq
+	// ReadyCycle is when the response reaches the SM boundary.
+	ReadyCycle int64
+}
+
+type eventKind uint8
+
+const (
+	evL2Hit eventKind = iota
+	evDRAMFill
+)
+
+type event struct {
+	cycle     int64
+	seq       int64 // tie-break for deterministic ordering
+	kind      eventKind
+	partition int
+	line      arch.LineAddr
+	req       arch.MemReq // for evL2Hit
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].cycle != h[j].cycle {
+		return h[i].cycle < h[j].cycle
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)    { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)      { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any        { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peekCycle() int64 { return h[0].cycle }
+func (h eventHeap) empty() bool      { return len(h) == 0 }
+
+type partition struct {
+	l2       *mem.Cache
+	nextFree int64 // next cycle DRAM service can start
+	pending  []arch.MemReq
+}
+
+// MemSystem is the GPU-shared L2 + DRAM model.
+type MemSystem struct {
+	cfg       config.Config
+	parts     []partition
+	events    eventHeap
+	seq       int64
+	st        *stats.Stats
+	returnLeg int64
+	responses []Response // scratch, reused across Tick calls
+}
+
+// New builds the memory system. Stats for L2/DRAM counters are written to
+// st (typically the GPU-level aggregate).
+func New(cfg config.Config, st *stats.Stats) *MemSystem {
+	m := &MemSystem{
+		cfg:       cfg,
+		parts:     make([]partition, cfg.DRAMPartitions),
+		st:        st,
+		returnLeg: int64(cfg.L2Latency) / 2,
+	}
+	sliceSize := cfg.L2SizeBytes / cfg.DRAMPartitions
+	for i := range m.parts {
+		m.parts[i].l2 = mem.NewL2Cache("L2", sliceSize, cfg.L2Ways, cfg.L2MSHRs)
+	}
+	return m
+}
+
+// PartitionOf returns the memory partition index for a line address.
+func (m *MemSystem) PartitionOf(l arch.LineAddr) int {
+	return int(uint64(l) % uint64(len(m.parts)))
+}
+
+// Request injects an L1 miss (demand or prefetch) or a write-through store
+// into the memory system at the given cycle.
+func (m *MemSystem) Request(req arch.MemReq, cycle int64) {
+	p := m.PartitionOf(req.Line)
+	if req.Kind == arch.AccessStore {
+		// Write-through, no-allocate; consumes a DRAM service slot so
+		// stores compete with fills for bandwidth.
+		pt := &m.parts[p]
+		start := max64(cycle, pt.nextFree)
+		pt.nextFree = start + int64(m.cfg.DRAMServiceInterval)
+		m.st.DRAMAccesses++
+		m.st.BytesFromDRAM += arch.LineSizeBytes
+		return
+	}
+	m.access(p, req, cycle)
+}
+
+func (m *MemSystem) access(p int, req arch.MemReq, cycle int64) {
+	pt := &m.parts[p]
+	m.st.L2Accesses++
+	out := pt.l2.Access(req, cycle)
+	switch out.Result {
+	case arch.ResultHit:
+		m.st.GPUL2Hits++
+		m.push(event{cycle: cycle + int64(m.cfg.L2Latency), kind: evL2Hit, partition: p, line: req.Line, req: req})
+	case arch.ResultMergedMSHR:
+		// Waiter recorded inside the L2 MSHR entry; it will be woken by
+		// the fill event already scheduled for this line.
+		m.st.L2Misses++
+	case arch.ResultMiss:
+		m.st.L2Misses++
+		m.st.DRAMAccesses++
+		m.st.BytesFromDRAM += arch.LineSizeBytes
+		start := max64(cycle, pt.nextFree)
+		pt.nextFree = start + int64(m.cfg.DRAMServiceInterval)
+		m.st.DRAMQueueCycles += start - cycle
+		m.push(event{cycle: start + int64(m.cfg.DRAMLatency), kind: evDRAMFill, partition: p, line: req.Line})
+	case arch.ResultStall:
+		pt.pending = append(pt.pending, req)
+	}
+}
+
+func (m *MemSystem) push(e event) {
+	e.seq = m.seq
+	m.seq++
+	heap.Push(&m.events, e)
+}
+
+// Tick advances the memory system to the given cycle and returns the
+// responses that completed. The returned slice is reused across calls.
+func (m *MemSystem) Tick(cycle int64) []Response {
+	m.responses = m.responses[:0]
+	// Retry MSHR-stalled requests first so freed entries are reused in
+	// FIFO order.
+	for p := range m.parts {
+		pt := &m.parts[p]
+		n := 0
+		for _, req := range pt.pending {
+			if pt.l2.MSHRCount() >= pt.l2.MSHRMax() {
+				pt.pending[n] = req
+				n++
+				continue
+			}
+			m.st.L2Accesses-- // re-access; don't double count
+			m.access(p, req, cycle)
+		}
+		pt.pending = pt.pending[:n]
+	}
+	for !m.events.empty() && m.events.peekCycle() <= cycle {
+		e := heap.Pop(&m.events).(event)
+		switch e.kind {
+		case evL2Hit:
+			m.responses = append(m.responses, Response{Req: e.req, ReadyCycle: e.cycle})
+		case evDRAMFill:
+			fill := m.parts[e.partition].l2.Fill(e.line, e.cycle)
+			if fill.Entry == nil {
+				continue
+			}
+			ready := e.cycle + m.returnLeg
+			for _, w := range fill.Entry.Waiters {
+				m.responses = append(m.responses, Response{Req: w, ReadyCycle: ready})
+			}
+		}
+	}
+	return m.responses
+}
+
+// Drained reports whether no events or pending requests remain.
+func (m *MemSystem) Drained() bool {
+	if !m.events.empty() {
+		return false
+	}
+	for i := range m.parts {
+		if len(m.parts[i].pending) > 0 || m.parts[i].l2.MSHRCount() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

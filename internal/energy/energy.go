@@ -1,0 +1,80 @@
+// Package energy estimates dynamic energy from simulation event counts, in
+// the spirit of GPUWattch: each architectural event carries a per-event
+// energy cost and the total is the count-weighted sum. The APRES paper's
+// Figure 15 reports dynamic energy *relative to the baseline*, which this
+// event model reproduces because relative energy is dominated by the
+// relative counts of data-movement events. The costs below are
+// order-of-magnitude figures for a 28-40 nm GPU (pJ per event); their
+// absolute calibration does not affect normalised results.
+package energy
+
+import "apres/internal/stats"
+
+// Model holds per-event energies in picojoules.
+type Model struct {
+	// ALUOp covers one warp instruction's execution (32 lanes).
+	ALUOp float64
+	// RegFileAccess covers operand collector traffic per instruction.
+	RegFileAccess float64
+	// SharedMemAccess is one scratchpad access.
+	SharedMemAccess float64
+	// L1Access is one L1 data cache lookup.
+	L1Access float64
+	// L2Access is one L2 lookup.
+	L2Access float64
+	// DRAMAccess is one 128 B DRAM burst.
+	DRAMAccess float64
+	// NoCPerByte is interconnect transfer energy per byte.
+	NoCPerByte float64
+	// APRESTableAccess is one LLT/WGT/PT/WQ/DRQ operation; APRES's own
+	// overhead (the paper measured it below 3% of total energy).
+	APRESTableAccess float64
+	// StaticPerCycle approximates constant background power per SM-cycle
+	// converted to energy; excluded from "dynamic" totals.
+	StaticPerCycle float64
+}
+
+// Default returns the reference model.
+func Default() Model {
+	return Model{
+		ALUOp:            200,
+		RegFileAccess:    90,
+		SharedMemAccess:  45,
+		L1Access:         110,
+		L2Access:         260,
+		DRAMAccess:       8000,
+		NoCPerByte:       6,
+		APRESTableAccess: 4,
+		StaticPerCycle:   50,
+	}
+}
+
+// Breakdown is the per-component dynamic energy in picojoules.
+type Breakdown struct {
+	Core  float64 // ALU + register file + shared memory
+	L1    float64
+	L2    float64
+	DRAM  float64
+	NoC   float64
+	APRES float64
+}
+
+// Dynamic returns the total dynamic energy.
+func (b Breakdown) Dynamic() float64 {
+	return b.Core + b.L1 + b.L2 + b.DRAM + b.NoC + b.APRES
+}
+
+// Estimate computes the dynamic energy breakdown for a run's counters.
+func (m Model) Estimate(s *stats.Stats) Breakdown {
+	l1Lookups := s.L1Accesses + s.PrefetchIssued + s.PrefetchFills
+	return Breakdown{
+		Core: float64(s.Instructions)*m.ALUOp +
+			float64(s.RegFileAccesses)*m.RegFileAccess +
+			float64(s.SharedMemAccesses)*m.SharedMemAccess,
+		L1:    float64(l1Lookups) * m.L1Access,
+		L2:    float64(s.L2Accesses) * m.L2Access,
+		DRAM:  float64(s.DRAMAccesses) * m.DRAMAccess,
+		NoC:   float64(s.BytesToSM) * m.NoCPerByte,
+		APRES: float64(s.APRESTableAccesses) * m.APRESTableAccess,
+	}
+}

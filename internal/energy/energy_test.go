@@ -1,0 +1,76 @@
+package energy
+
+import (
+	"testing"
+
+	"apres/internal/stats"
+)
+
+func TestEstimateScalesWithCounts(t *testing.T) {
+	m := Default()
+	s1 := stats.Stats{Instructions: 100, DRAMAccesses: 10}
+	s2 := stats.Stats{Instructions: 200, DRAMAccesses: 20}
+	e1 := m.Estimate(&s1).Dynamic()
+	e2 := m.Estimate(&s2).Dynamic()
+	if e2 != 2*e1 {
+		t.Fatalf("energy not linear in counts: %v vs %v", e1, e2)
+	}
+}
+
+func TestDRAMDominatesDataMovement(t *testing.T) {
+	m := Default()
+	// One DRAM access must cost far more than one L1 access (the premise
+	// of Figure 15: moving data is the energy-hungry operation).
+	if m.DRAMAccess < 10*m.L1Access {
+		t.Fatalf("DRAM %v should dwarf L1 %v", m.DRAMAccess, m.L1Access)
+	}
+}
+
+func TestBreakdownComponents(t *testing.T) {
+	m := Default()
+	s := stats.Stats{
+		Instructions:       10,
+		RegFileAccesses:    10,
+		SharedMemAccesses:  5,
+		L1Accesses:         20,
+		PrefetchIssued:     2,
+		PrefetchFills:      2,
+		L2Accesses:         8,
+		DRAMAccesses:       4,
+		BytesToSM:          1024,
+		APRESTableAccesses: 30,
+	}
+	b := m.Estimate(&s)
+	if b.Core <= 0 || b.L1 <= 0 || b.L2 <= 0 || b.DRAM <= 0 || b.NoC <= 0 || b.APRES <= 0 {
+		t.Fatalf("all components should be positive: %+v", b)
+	}
+	sum := b.Core + b.L1 + b.L2 + b.DRAM + b.NoC + b.APRES
+	if b.Dynamic() != sum {
+		t.Fatalf("Dynamic() = %v, want %v", b.Dynamic(), sum)
+	}
+	// Prefetch lookups and fills must be charged to the L1.
+	noPf := s
+	noPf.PrefetchIssued, noPf.PrefetchFills = 0, 0
+	if m.Estimate(&noPf).L1 >= b.L1 {
+		t.Fatal("prefetch traffic should increase L1 energy")
+	}
+}
+
+func TestAPRESOverheadIsSmall(t *testing.T) {
+	m := Default()
+	// For a representative run mix, the APRES tables must stay well under
+	// the paper's 3%-of-total bound.
+	s := stats.Stats{
+		Instructions:       1000,
+		RegFileAccesses:    1000,
+		L1Accesses:         300,
+		L2Accesses:         150,
+		DRAMAccesses:       100,
+		BytesToSM:          100 * 128,
+		APRESTableAccesses: 900,
+	}
+	b := m.Estimate(&s)
+	if frac := b.APRES / b.Dynamic(); frac > 0.03 {
+		t.Fatalf("APRES energy fraction %.4f exceeds 3%%", frac)
+	}
+}

@@ -1,0 +1,189 @@
+// Package gpu assembles the full simulated GPU: the configured number of
+// SMs (internal/core) over a shared interconnect (internal/noc) and a
+// partitioned L2+DRAM memory system (internal/dram), driven by a single
+// global clock, as in Figure 1 of the APRES paper.
+package gpu
+
+import (
+	"fmt"
+
+	"apres/internal/arch"
+	"apres/internal/config"
+	"apres/internal/core"
+	"apres/internal/dram"
+	"apres/internal/kernel"
+	"apres/internal/noc"
+	"apres/internal/stats"
+)
+
+// TimelinePoint is one sample of aggregate progress (for plotting IPC over
+// time and spotting phase behaviour).
+type TimelinePoint struct {
+	// Cycle is the sample time.
+	Cycle int64
+	// Instructions is the cumulative instruction count across all SMs.
+	Instructions int64
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	// Config is the configuration the run used.
+	Config config.Config
+	// Kernel names the workload.
+	Kernel string
+	// Cycles is the total execution time in cycles.
+	Cycles int64
+	// Total aggregates all per-SM counters plus the shared memory
+	// system counters.
+	Total stats.Stats
+	// PerSM holds each SM's counters.
+	PerSM []stats.Stats
+	// LoadStats holds per-PC characterisation from SM 0 when the run
+	// collected them (Table I).
+	LoadStats map[arch.PC]*core.LoadStat
+	// HitMaxCycles reports the run stopped at the MaxCycles bound
+	// instead of kernel completion.
+	HitMaxCycles bool
+	// Timeline holds periodic progress samples when the GPU was built
+	// with WithTimeline.
+	Timeline []TimelinePoint
+}
+
+// IPC returns aggregate instructions per cycle across the GPU.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Total.Instructions) / float64(r.Cycles)
+}
+
+// GPU is one simulated device.
+type GPU struct {
+	cfg     config.Config
+	sms     []*core.SM
+	smStats []stats.Stats
+	memSys  *dram.MemSystem
+	net     *noc.Network
+	shared  stats.Stats
+
+	collectLoadStats bool
+	timelineInterval int64
+	timeline         []TimelinePoint
+}
+
+// Option customises a GPU before it runs.
+type Option func(*GPU)
+
+// WithLoadStats enables per-PC load characterisation on SM 0 (Table I).
+func WithLoadStats() Option {
+	return func(g *GPU) { g.collectLoadStats = true }
+}
+
+// WithTimeline samples cumulative instruction counts every interval cycles
+// into Result.Timeline.
+func WithTimeline(interval int64) Option {
+	return func(g *GPU) {
+		if interval > 0 {
+			g.timelineInterval = interval
+		}
+	}
+}
+
+// New builds a GPU running kern on every SM.
+func New(cfg config.Config, kern kernel.Kernel, opts ...Option) (*GPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := kern.Program.Validate(); err != nil {
+		return nil, fmt.Errorf("gpu: kernel %q: %w", kern.Name, err)
+	}
+	g := &GPU{cfg: cfg}
+	for _, o := range opts {
+		o(g)
+	}
+	g.memSys = dram.New(cfg, &g.shared)
+	g.net = noc.New(cfg.NumSMs, cfg.NoCBytesPerCycle, &g.shared)
+	g.smStats = make([]stats.Stats, cfg.NumSMs)
+	g.sms = make([]*core.SM, cfg.NumSMs)
+	for i := 0; i < cfg.NumSMs; i++ {
+		sm, err := core.NewSM(i, cfg, kern, g.memSys, &g.smStats[i])
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 && g.collectLoadStats {
+			sm.CollectLoadStats = true
+		}
+		g.sms[i] = sm
+	}
+	return g, nil
+}
+
+// Run executes the simulation to kernel completion (or MaxCycles) and
+// returns the result.
+func (g *GPU) Run(kernName string) Result {
+	maxCycles := g.cfg.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = 1 << 62
+	}
+	var cycle int64
+	hitMax := false
+	for ; ; cycle++ {
+		if cycle >= maxCycles {
+			hitMax = true
+			break
+		}
+		for _, r := range g.memSys.Tick(cycle) {
+			g.net.Enqueue(r)
+		}
+		allDone := true
+		for i, sm := range g.sms {
+			for _, r := range g.net.Deliver(i, cycle) {
+				sm.HandleFill(r, cycle)
+			}
+			if !sm.Done() {
+				sm.Tick(cycle)
+				allDone = false
+			}
+		}
+		if g.timelineInterval > 0 && cycle%g.timelineInterval == 0 {
+			var insts int64
+			for i := range g.smStats {
+				insts += g.smStats[i].Instructions
+			}
+			g.timeline = append(g.timeline, TimelinePoint{Cycle: cycle, Instructions: insts})
+		}
+		if allDone && g.memSys.Drained() && !g.net.Pending() {
+			break
+		}
+	}
+
+	res := Result{
+		Config:       g.cfg,
+		Kernel:       kernName,
+		Cycles:       cycle,
+		PerSM:        make([]stats.Stats, len(g.sms)),
+		HitMaxCycles: hitMax,
+	}
+	for i, sm := range g.sms {
+		sm.FinalizePrefetchStats()
+		res.PerSM[i] = g.smStats[i]
+		res.Total.Add(&g.smStats[i])
+	}
+	res.Total.Add(&g.shared)
+	res.Total.Cycles = cycle
+	if g.collectLoadStats {
+		res.LoadStats = g.sms[0].LoadStats()
+	}
+	res.Timeline = g.timeline
+	return res
+}
+
+// Simulate is the one-call convenience API: build a GPU for cfg and kern,
+// run it, and return the result.
+func Simulate(cfg config.Config, kern kernel.Kernel, opts ...Option) (Result, error) {
+	g, err := New(cfg, kern, opts...)
+	if err != nil {
+		return Result{}, err
+	}
+	return g.Run(kern.Name), nil
+}

@@ -1,0 +1,186 @@
+package gpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"apres/internal/arch"
+	"apres/internal/config"
+	"apres/internal/kernel"
+)
+
+// randomKernel builds a small but structurally varied kernel from fuzz
+// inputs: 1-3 loads with assorted stride/locality/coalescing shapes, ALU
+// bursts with jitter, an optional store, and CTA refill.
+func randomKernel(seed uint64) kernel.Kernel {
+	rng := seed
+	next := func(n uint64) uint64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return (rng >> 33) % n
+	}
+	nLoads := 1 + int(next(3))
+	var body []kernel.Inst
+	for i := 0; i < nLoads; i++ {
+		p := kernel.Pattern{
+			Base:     arch.Addr((uint64(i) + 1) << 32),
+			SMStride: 1 << 24,
+		}
+		switch next(3) {
+		case 0: // strided stream
+			p.WarpStride = int64(128 << next(6))
+			p.IterStride = p.WarpStride * 8
+			p.LaneStride = 4
+		case 1: // hot shared region
+			p.Random = true
+			p.WarpShare = 64
+			p.WrapBytes = int64(4096 << next(4))
+			p.LaneStride = 4
+			p.Seed = seed ^ uint64(i)
+		default: // intra-warp reuse block
+			p.WarpStride = int64(1024 << next(3))
+			p.IterStride = 128
+			p.IterWrapBytes = 2048
+			p.LaneStride = int64(4 << next(3))
+		}
+		body = append(body,
+			kernel.Inst{Op: kernel.OpLoad, PC: arch.PC(0x100 + uint32(i)*0x10), Pattern: p},
+			kernel.Inst{Op: kernel.OpALU, DependsOnMem: true, Repeat: 1 + int(next(6)), RepeatJitter: int(next(5))},
+		)
+	}
+	if next(2) == 0 {
+		body = append(body, kernel.Inst{Op: kernel.OpStore, PC: 0x200, Pattern: kernel.Pattern{
+			Base: 9 << 32, SMStride: 1 << 24, WarpStride: 512, IterStride: 512 * 8, LaneStride: 4,
+		}})
+	}
+	warps := 2 + int(next(7))
+	return kernel.Kernel{
+		Name:             "fuzz",
+		WarpsPerSM:       warps,
+		LaunchWarpsPerSM: warps + int(next(uint64(warps+1))),
+		Program: kernel.Program{
+			Iterations: 2 + int(next(6)),
+			Body:       body,
+		},
+	}
+}
+
+// expectedInstructions replays the walkers offline (including jitter) to
+// compute exactly how many warp instructions the SMs must issue.
+func expectedInstructions(k kernel.Kernel, sms int) int64 {
+	var perSM int64
+	for wid := 0; wid < k.TotalLaunches(); wid++ {
+		w := kernel.NewWalker(&k.Program, arch.WarpID(wid))
+		for !w.Done() {
+			perSM++
+			w.Advance()
+		}
+	}
+	return perSM * int64(sms)
+}
+
+// TestQuickSimulationInvariants drives random kernels through random
+// configurations and checks the conservation laws any correct simulator
+// must satisfy.
+func TestQuickSimulationInvariants(t *testing.T) {
+	scheds := []config.SchedulerKind{
+		config.SchedLRR, config.SchedGTO, config.SchedTwoLevel,
+		config.SchedCCWS, config.SchedMASCAR, config.SchedPA, config.SchedLAWS,
+	}
+	prefs := []config.PrefetcherKind{config.PrefNone, config.PrefSTR, config.PrefSLD}
+
+	f := func(seed uint64, schedPick, prefPick uint8) bool {
+		cfg := config.Baseline()
+		cfg.NumSMs = 2
+		cfg.Scheduler = scheds[int(schedPick)%len(scheds)]
+		cfg.Prefetcher = prefs[int(prefPick)%len(prefs)]
+		if int(schedPick)%len(scheds) == 6 && int(prefPick)%3 == 0 {
+			// Exercise the full APRES coupling too.
+			cfg = config.APRES()
+			cfg.NumSMs = 2
+		}
+		cfg.MaxCycles = 3_000_000 // hang guard: must NOT be reached
+		k := randomKernel(seed)
+
+		res, err := Simulate(cfg, k)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		// 1. Forward progress: the kernel must complete.
+		if res.HitMaxCycles {
+			t.Logf("seed %d: hit cycle bound (deadlock?)", seed)
+			return false
+		}
+		// 2. Instruction conservation: exactly the program's instructions
+		// issue, no more, no less.
+		if want := expectedInstructions(k, cfg.NumSMs); res.Total.Instructions != want {
+			t.Logf("seed %d: instructions %d, want %d", seed, res.Total.Instructions, want)
+			return false
+		}
+		// 3. Access accounting: every demand access is exactly one of
+		// hit / cold miss / cap+conflict miss / merge.
+		tt := res.Total
+		if tt.L1Hits+tt.L1ColdMisses+tt.L1CapConfMisses+tt.L1MSHRMerges != tt.L1Accesses {
+			t.Logf("seed %d: access accounting broken", seed)
+			return false
+		}
+		// 4. Hit split consistency.
+		if tt.L1HitAfterHit+tt.L1HitAfterMiss != tt.L1Hits {
+			t.Logf("seed %d: hit-after split %d+%d != %d", seed, tt.L1HitAfterHit, tt.L1HitAfterMiss, tt.L1Hits)
+			return false
+		}
+		// 5. Every latency sample corresponds to a completed fill wait;
+		// samples can never exceed demand accesses.
+		if tt.MemLatencyCount > tt.L1Accesses {
+			t.Logf("seed %d: more latency samples than accesses", seed)
+			return false
+		}
+		// 6. Prefetch conservation: fills cannot exceed issues; useful +
+		// early-evicted + useless cannot exceed fills.
+		if tt.PrefetchFills > tt.PrefetchIssued {
+			t.Logf("seed %d: %d fills > %d issued", seed, tt.PrefetchFills, tt.PrefetchIssued)
+			return false
+		}
+		if tt.PrefetchUseful+tt.PrefetchEarlyEvicted+tt.PrefetchUseless > tt.PrefetchIssued {
+			t.Logf("seed %d: prefetch outcomes exceed issues", seed)
+			return false
+		}
+		// 7. DRAM reads bound the bytes delivered from DRAM.
+		if tt.BytesFromDRAM != tt.DRAMAccesses*arch.LineSizeBytes {
+			t.Logf("seed %d: DRAM byte accounting broken", seed)
+			return false
+		}
+		return true
+	}
+	n := 40
+	if testing.Short() {
+		n = 8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: n}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeterminismAcrossSchedulers re-runs one random kernel twice under
+// every scheduler and requires bit-identical statistics.
+func TestDeterminismAcrossSchedulers(t *testing.T) {
+	k := randomKernel(12345)
+	for _, s := range []config.SchedulerKind{
+		config.SchedLRR, config.SchedGTO, config.SchedTwoLevel,
+		config.SchedCCWS, config.SchedMASCAR, config.SchedPA, config.SchedLAWS,
+	} {
+		cfg := config.Baseline().WithScheduler(s)
+		cfg.NumSMs = 2
+		a, err := Simulate(cfg, k)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		b, err := Simulate(cfg, k)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if a.Total != b.Total || a.Cycles != b.Cycles {
+			t.Fatalf("%s: nondeterministic results", s)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Chart export: CSV and Markdown renderings of experiment results, so the
+// figures can be regenerated into spreadsheets or docs.
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CSV renders the chart as comma-separated values with a header row and a
+// trailing mean column.
+func (c *Chart) CSV() string {
+	var b strings.Builder
+	b.WriteString("series")
+	for _, a := range c.Apps {
+		fmt.Fprintf(&b, ",%s", a)
+	}
+	b.WriteString(",mean\n")
+	for _, s := range c.Series {
+		b.WriteString(csvEscape(s.Name))
+		for _, a := range c.Apps {
+			fmt.Fprintf(&b, ",%g", s.Values[a])
+		}
+		fmt.Fprintf(&b, ",%g\n", s.Mean(c.Apps))
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Markdown renders the chart as a GitHub-flavoured Markdown table.
+func (c *Chart) Markdown() string {
+	format := c.Format
+	if format == "" {
+		format = "%.3f"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "**%s**\n\n", c.Title)
+	b.WriteString("| series |")
+	for _, a := range c.Apps {
+		fmt.Fprintf(&b, " %s |", a)
+	}
+	b.WriteString(" mean |\n|---|")
+	for range c.Apps {
+		b.WriteString("---|")
+	}
+	b.WriteString("---|\n")
+	for _, s := range c.Series {
+		fmt.Fprintf(&b, "| %s |", s.Name)
+		for _, a := range c.Apps {
+			fmt.Fprintf(&b, " "+format+" |", s.Values[a])
+		}
+		fmt.Fprintf(&b, " "+format+" |\n", s.Mean(c.Apps))
+	}
+	return b.String()
+}
+
+// Format names accepted by RenderAs.
+const (
+	FormatText     = "text"
+	FormatCSV      = "csv"
+	FormatMarkdown = "md"
+)
+
+// RenderAs renders the chart in the named format.
+func (c *Chart) RenderAs(format string) (string, error) {
+	switch format {
+	case FormatText, "":
+		return c.Render(), nil
+	case FormatCSV:
+		return c.CSV(), nil
+	case FormatMarkdown:
+		return c.Markdown(), nil
+	default:
+		return "", fmt.Errorf("harness: unknown render format %q", format)
+	}
+}

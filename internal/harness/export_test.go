@@ -1,0 +1,56 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func exportChart() *Chart {
+	return &Chart{
+		Title: "demo",
+		Apps:  []string{"A", "B"},
+		Series: []Series{
+			{Name: "x", Values: map[string]float64{"A": 1, "B": 3}},
+			{Name: "with,comma", Values: map[string]float64{"A": 0.5, "B": 0.5}},
+		},
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	out := exportChart().CSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d, want 3:\n%s", len(lines), out)
+	}
+	if lines[0] != "series,A,B,mean" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "x,1,3,2" {
+		t.Fatalf("row = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], `"with,comma"`) {
+		t.Fatalf("comma not escaped: %q", lines[2])
+	}
+}
+
+func TestMarkdownExport(t *testing.T) {
+	out := exportChart().Markdown()
+	for _, want := range []string{"**demo**", "| series |", "| x |", "1.000", "2.000", "|---|"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderAs(t *testing.T) {
+	c := exportChart()
+	for _, f := range []string{FormatText, FormatCSV, FormatMarkdown, ""} {
+		out, err := c.RenderAs(f)
+		if err != nil || out == "" {
+			t.Fatalf("format %q: %v", f, err)
+		}
+	}
+	if _, err := c.RenderAs("xml"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}

@@ -1,0 +1,225 @@
+// Package harness regenerates every table and figure of the APRES paper's
+// evaluation (Table I, Table II, Figures 2-4 and 10-15) from simulation
+// runs. A Runner caches results so the full suite simulates each distinct
+// (workload, configuration) pair exactly once.
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"apres/internal/config"
+	"apres/internal/gpu"
+	"apres/internal/workloads"
+)
+
+// NamedConfig resolves the configuration names the experiments use:
+// "base", a scheduler name ("gto", "twolevel", "ccws", "mascar", "pa",
+// "laws"), optionally combined with a prefetcher ("ccws+str", "laws+sld"),
+// the special "apres" (coupled LAWS+SAP), and "l1-32mb" (the Figure 2
+// hypothetical large cache).
+func NamedConfig(name string) (config.Config, error) {
+	switch name {
+	case "base":
+		return config.Baseline(), nil
+	case "apres":
+		return config.APRES(), nil
+	case "l1-32mb":
+		c := config.Baseline()
+		c.L1SizeBytes = 32 << 20
+		return c, nil
+	}
+	parts := strings.Split(name, "+")
+	c := config.Baseline()
+	switch parts[0] {
+	case "lrr":
+		c.Scheduler = config.SchedLRR
+	case "gto":
+		c.Scheduler = config.SchedGTO
+	case "twolevel":
+		c.Scheduler = config.SchedTwoLevel
+	case "ccws":
+		c.Scheduler = config.SchedCCWS
+	case "mascar":
+		c.Scheduler = config.SchedMASCAR
+	case "pa":
+		c.Scheduler = config.SchedPA
+	case "laws":
+		c.Scheduler = config.SchedLAWS
+	default:
+		return config.Config{}, fmt.Errorf("harness: unknown config %q", name)
+	}
+	if len(parts) == 2 {
+		switch parts[1] {
+		case "str":
+			c.Prefetcher = config.PrefSTR
+		case "sld":
+			c.Prefetcher = config.PrefSLD
+		default:
+			return config.Config{}, fmt.Errorf("harness: unknown prefetcher in %q", name)
+		}
+	} else if len(parts) > 2 {
+		return config.Config{}, fmt.Errorf("harness: malformed config %q", name)
+	}
+	return c, nil
+}
+
+type runKey struct {
+	app, cfg  string
+	loadStats bool
+}
+
+// Runner executes and caches simulation runs.
+type Runner struct {
+	// Scale multiplies workload iteration counts (tests use small
+	// scales; 1.0 reproduces the full-size runs).
+	Scale float64
+	// SMs overrides the SM count when nonzero.
+	SMs int
+	// Adjust, when non-nil, post-processes every configuration (used by
+	// ablation benches to tweak APRES structure sizes).
+	Adjust func(*config.Config)
+
+	cache map[runKey]gpu.Result
+}
+
+// NewRunner returns a Runner at the given workload scale (1.0 = full size).
+func NewRunner(scale float64, sms int) *Runner {
+	if scale <= 0 {
+		scale = 1
+	}
+	return &Runner{Scale: scale, SMs: sms, cache: make(map[runKey]gpu.Result)}
+}
+
+// Run simulates workload app under the named configuration, memoising the
+// result.
+func (r *Runner) Run(app, cfgName string) (gpu.Result, error) {
+	return r.run(app, cfgName, false)
+}
+
+// RunWithLoadStats is Run with per-PC characterisation enabled.
+func (r *Runner) RunWithLoadStats(app, cfgName string) (gpu.Result, error) {
+	return r.run(app, cfgName, true)
+}
+
+func (r *Runner) run(app, cfgName string, loadStats bool) (gpu.Result, error) {
+	k := runKey{app: app, cfg: cfgName, loadStats: loadStats}
+	if res, ok := r.cache[k]; ok {
+		return res, nil
+	}
+	w, ok := workloads.ByName(app)
+	if !ok {
+		return gpu.Result{}, fmt.Errorf("harness: unknown workload %q", app)
+	}
+	cfg, err := NamedConfig(cfgName)
+	if err != nil {
+		return gpu.Result{}, err
+	}
+	if r.SMs > 0 {
+		cfg.NumSMs = r.SMs
+	}
+	if r.Adjust != nil {
+		r.Adjust(&cfg)
+		if err := cfg.Validate(); err != nil {
+			return gpu.Result{}, err
+		}
+	}
+	kern := w.Kernel
+	if r.Scale != 1 {
+		kern = kern.Scaled(r.Scale)
+	}
+	var opts []gpu.Option
+	if loadStats {
+		opts = append(opts, gpu.WithLoadStats())
+	}
+	res, err := gpu.Simulate(cfg, kern, opts...)
+	if err != nil {
+		return gpu.Result{}, fmt.Errorf("harness: %s/%s: %w", app, cfgName, err)
+	}
+	r.cache[k] = res
+	return res, nil
+}
+
+// Series is one labelled row of per-application values.
+type Series struct {
+	Name   string
+	Values map[string]float64
+}
+
+// Mean returns the arithmetic mean over the given apps (the paper reports
+// arithmetic averages of normalised metrics).
+func (s Series) Mean(apps []string) float64 {
+	if len(apps) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, a := range apps {
+		sum += s.Values[a]
+	}
+	return sum / float64(len(apps))
+}
+
+// Chart is a rendered figure: per-app series plus app ordering.
+type Chart struct {
+	Title  string
+	Apps   []string
+	Series []Series
+	// Format is the fmt verb for values (default %.3f).
+	Format string
+}
+
+// Render returns an aligned text table with a trailing mean column.
+func (c *Chart) Render() string {
+	format := c.Format
+	if format == "" {
+		format = "%.3f"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", c.Title)
+	fmt.Fprintf(&b, "%-12s", "")
+	for _, a := range c.Apps {
+		fmt.Fprintf(&b, "%8s", a)
+	}
+	fmt.Fprintf(&b, "%8s\n", "MEAN")
+	for _, s := range c.Series {
+		fmt.Fprintf(&b, "%-12s", s.Name)
+		for _, a := range c.Apps {
+			fmt.Fprintf(&b, "%8s", fmt.Sprintf(format, s.Values[a]))
+		}
+		fmt.Fprintf(&b, "%8s\n", fmt.Sprintf(format, s.Mean(c.Apps)))
+	}
+	return b.String()
+}
+
+// SeriesByName returns the named series.
+func (c *Chart) SeriesByName(name string) (Series, bool) {
+	for _, s := range c.Series {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Series{}, false
+}
+
+// AllApps returns the 15 benchmark names in paper order.
+func AllApps() []string { return workloads.Names() }
+
+// MemoryIntensiveApps returns the ten memory-intensive benchmarks.
+func MemoryIntensiveApps() []string {
+	var out []string
+	for _, w := range workloads.MemoryIntensiveSet() {
+		out = append(out, w.Name())
+	}
+	return out
+}
+
+// CategoryApps returns the apps of one category in paper order.
+func CategoryApps(cat workloads.Category) []string {
+	var out []string
+	for _, w := range workloads.All() {
+		if w.Category == cat {
+			out = append(out, w.Name())
+		}
+	}
+	return out
+}

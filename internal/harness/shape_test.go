@@ -1,0 +1,165 @@
+package harness
+
+// Shape tests: assert the qualitative results the paper's evaluation
+// hinges on, at reduced scale. They are skipped under -short; the full
+// suite (cmd/experiments, bench_test.go) reproduces the complete figures.
+
+import "testing"
+
+func shapeRunner() *Runner { return NewRunner(0.25, 0) }
+
+func TestShapeThrottlingWinsOnKM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	r := shapeRunner()
+	s, err := r.speedup("KM", "ccws")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: CCWS gains 132% on KM because only warp throttling fits the
+	// working set into the L1. Require a substantial win.
+	if s < 1.5 {
+		t.Fatalf("CCWS speedup on KM = %.2f, want > 1.5 (paper: 2.32)", s)
+	}
+	// And APRES must NOT beat CCWS on KM (the paper's one exception).
+	a, err := r.speedup("KM", "apres")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a > s {
+		t.Fatalf("APRES (%.2f) beat CCWS (%.2f) on KM; the paper's exception says it must not", a, s)
+	}
+}
+
+func TestShapeAPRESReducesEarlyEvictionVsCCWSSTR(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	r := shapeRunner()
+	apps := []string{"BFS", "SRAD", "BP", "SP"}
+	c, err := r.Fig12(apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apres, _ := c.SeriesByName("apres")
+	ccwsStr, _ := c.SeriesByName("ccws+str")
+	if apres.Mean(apps) > ccwsStr.Mean(apps) {
+		t.Fatalf("APRES early eviction %.3f > CCWS+STR %.3f; paper: 8.6%% vs 13.0%%",
+			apres.Mean(apps), ccwsStr.Mean(apps))
+	}
+}
+
+func TestShapeAPRESSpeedsUpMemoryIntensive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	r := shapeRunner()
+	apps := []string{"BFS", "SPMV", "LUD", "BP"}
+	sum := 0.0
+	for _, a := range apps {
+		s, err := r.speedup(a, "apres")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += s
+	}
+	if mean := sum / float64(len(apps)); mean <= 1.05 {
+		t.Fatalf("APRES mean speedup on memory-intensive subset = %.3f, want > 1.05", mean)
+	}
+}
+
+func TestShapeLargeCacheHelpsCacheSensitive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	r := shapeRunner()
+	// KM is the paper's extreme case (3.4x with a 32MB L1).
+	s, err := r.speedup("KM", "l1-32mb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 1.5 {
+		t.Fatalf("KM: 32MB L1 speedup %.2f, want > 1.5 (paper: 3.4)", s)
+	}
+	// The large cache must never hurt a cache-sensitive app.
+	if s, err = r.speedup("BFS", "l1-32mb"); err != nil {
+		t.Fatal(err)
+	} else if s < 0.98 {
+		t.Fatalf("BFS: 32MB L1 slowed the run down (%.2f)", s)
+	}
+	// And the large cache must slash capacity+conflict misses.
+	base, err := r.Run("KM", "base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := r.Run("KM", "l1-32mb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Total.CapConfMissRate() >= base.Total.CapConfMissRate()/2 {
+		t.Fatalf("32MB cap+conf %.3f not well below baseline %.3f",
+			big.Total.CapConfMissRate(), base.Total.CapConfMissRate())
+	}
+}
+
+func TestShapeSTRCoversLargeStridesSLDCannot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	r := shapeRunner()
+	// NW strides by 1.9 MB: far outside SLD's 512 B macro blocks. STR
+	// must issue prefetches there while SLD issues (almost) none.
+	str, err := r.Run("NW", "gto+str")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sld, err := r.Run("NW", "gto+sld")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if str.Total.PrefetchIssued == 0 {
+		t.Fatal("STR issued no prefetches on NW's regular stride")
+	}
+	if sld.Total.PrefetchIssued >= str.Total.PrefetchIssued/4 {
+		t.Fatalf("SLD issued %d prefetches on NW (STR: %d); macro blocks cannot cover 1.9MB strides",
+			sld.Total.PrefetchIssued, str.Total.PrefetchIssued)
+	}
+}
+
+func TestShapeLAWSImprovesHitAfterHit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	r := shapeRunner()
+	// BFS has the inter-warp locality LAWS exploits: hit-after-hit
+	// fraction must rise over the baseline (Figure 11's mechanism).
+	base, err := r.Run("BFS", "base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	laws, err := r.Run("BFS", "laws")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bh := frac(base.Total.L1HitAfterHit, base.Total.L1Accesses)
+	lh := frac(laws.Total.L1HitAfterHit, laws.Total.L1Accesses)
+	if lh <= bh {
+		t.Fatalf("LAWS hit-after-hit %.3f not above baseline %.3f", lh, bh)
+	}
+}
+
+func TestShapeAPRESCutsMemoryLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	r := shapeRunner()
+	c, err := r.Fig13([]string{"BFS", "SPMV", "BP"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	apres, _ := c.SeriesByName("apres")
+	if m := apres.Mean(c.Apps); m >= 1.0 {
+		t.Fatalf("APRES normalised memory latency %.3f, want < 1 (paper: 0.835)", m)
+	}
+}

@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSweepL1SizeMonotoneForCacheSensitive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep test")
+	}
+	r := NewRunner(0.15, 4)
+	s, err := r.SweepL1Size("KM", "base", []int{32, 256, 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 3 {
+		t.Fatalf("points = %d, want 3", len(s.Points))
+	}
+	if s.Points[0].Speedup != 1 {
+		t.Fatalf("first point must be the 1.0 reference, got %v", s.Points[0].Speedup)
+	}
+	// More cache must not reduce the hit rate on a capacity-limited app.
+	if s.Points[2].L1HitRate < s.Points[0].L1HitRate {
+		t.Fatalf("hit rate fell with larger L1: %v -> %v",
+			s.Points[0].L1HitRate, s.Points[2].L1HitRate)
+	}
+	out := s.Render()
+	if !strings.Contains(out, "KM") || !strings.Contains(out, "2048KB") {
+		t.Fatalf("render incomplete:\n%s", out)
+	}
+}
+
+func TestSweepMSHRs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep test")
+	}
+	r := NewRunner(0.1, 2)
+	s, err := r.SweepMSHRs("NW", "base", []int{4, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A streaming app starved of MSHRs must speed up with more of them.
+	if s.Points[1].Speedup <= 1 {
+		t.Fatalf("64 MSHRs not faster than 4 on NW: %v", s.Points[1].Speedup)
+	}
+}
+
+func TestSweepWarpsStaticThrottling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep test")
+	}
+	r := NewRunner(0.15, 2)
+	s, err := r.SweepWarps("KM", "base", []int{48, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// KM thrashes at 48 warps; statically throttling to 8 must raise the
+	// hit rate (the effect CCWS achieves dynamically).
+	if s.Points[1].L1HitRate <= s.Points[0].L1HitRate {
+		t.Fatalf("throttling did not raise KM hit rate: %v -> %v",
+			s.Points[0].L1HitRate, s.Points[1].L1HitRate)
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	r := NewRunner(0.1, 2)
+	if _, err := r.SweepL1Size("NOPE", "base", []int{32}); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if _, err := r.SweepL1Size("KM", "nope", []int{32}); err == nil {
+		t.Fatal("unknown config accepted")
+	}
+	if _, err := r.SweepL1Size("KM", "base", []int{0}); err == nil {
+		t.Fatal("invalid sweep point accepted")
+	}
+}

@@ -1,0 +1,72 @@
+// Table I: per-static-load characterisation.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"apres/internal/core"
+)
+
+// LoadRow is one Table I row.
+type LoadRow struct {
+	App       string
+	PC        uint32
+	PctLoad   float64 // fraction of the app's line references
+	LinesRef  float64 // #L/#R
+	MissRate  float64
+	Stride    int64
+	PctStride float64
+}
+
+// TableI characterises the static loads of the given apps under the
+// baseline configuration, like the paper's Table I.
+func (r *Runner) TableI(apps []string) ([]LoadRow, error) {
+	var rows []LoadRow
+	for _, app := range apps {
+		res, err := r.RunWithLoadStats(app, "base")
+		if err != nil {
+			return nil, err
+		}
+		var total int64
+		var stats []*core.LoadStat
+		for _, ls := range res.LoadStats {
+			total += ls.Refs
+			stats = append(stats, ls)
+		}
+		// Most frequently executed loads first, like the paper.
+		sort.Slice(stats, func(i, j int) bool {
+			if stats[i].Refs != stats[j].Refs {
+				return stats[i].Refs > stats[j].Refs
+			}
+			return stats[i].PC < stats[j].PC
+		})
+		for _, ls := range stats {
+			stride, share := ls.DominantStride()
+			rows = append(rows, LoadRow{
+				App:       app,
+				PC:        uint32(ls.PC),
+				PctLoad:   frac(ls.Refs, total),
+				LinesRef:  ls.LinesPerRef(),
+				MissRate:  ls.MissRate(),
+				Stride:    stride,
+				PctStride: share,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderTableI formats Table I rows as aligned text.
+func RenderTableI(rows []LoadRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table I: characteristics of frequently executed loads\n")
+	fmt.Fprintf(&b, "%-6s %-8s %7s %7s %9s %10s %8s\n",
+		"App", "PC", "%Load", "#L/#R", "MissRate", "Stride", "%Stride")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6s %#-8x %6.1f%% %7.2f %9.2f %10d %7.1f%%\n",
+			r.App, r.PC, r.PctLoad*100, r.LinesRef, r.MissRate, r.Stride, r.PctStride*100)
+	}
+	return b.String()
+}

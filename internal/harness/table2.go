@@ -1,0 +1,47 @@
+// Table II: APRES hardware cost.
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"apres/internal/config"
+)
+
+// HardwareCost itemises the storage APRES adds per SM (Table II).
+type HardwareCost struct {
+	LLTBytes int // last load table: 4 B PC per warp
+	WGTBytes int // warp group table: one warp-bit-vector per entry
+	DRQBytes int // demand request queue: 8 B addresses
+	WQBytes  int // warp queue: 1 B warp IDs
+	PTBytes  int // prefetch table: 4 B PC + 1 B warp + 8 B addr + 8 B stride
+}
+
+// Total returns the summed cost in bytes.
+func (h HardwareCost) Total() int {
+	return h.LLTBytes + h.WGTBytes + h.DRQBytes + h.WQBytes + h.PTBytes
+}
+
+// TableII computes the APRES storage cost for a configuration. With the
+// paper's parameters (48 warps, 3 WGT entries, 32 DRQ entries, 10 PT
+// entries) the total is the paper's 724 bytes.
+func TableII(cfg config.Config) HardwareCost {
+	wgtEntryBytes := (cfg.WarpsPerSM + 7) / 8
+	return HardwareCost{
+		LLTBytes: 4 * cfg.WarpsPerSM,
+		WGTBytes: wgtEntryBytes * cfg.LAWSWGTEntries,
+		DRQBytes: 8 * cfg.SAPDRQEntries,
+		WQBytes:  1 * cfg.WarpsPerSM,
+		PTBytes:  (4 + 1 + 8 + 8) * cfg.SAPPTEntries,
+	}
+}
+
+// RenderTableII formats the cost breakdown.
+func RenderTableII(h HardwareCost) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table II: hardware cost of APRES per SM\n")
+	fmt.Fprintf(&b, "  LAWS  LLT %4d B   WGT %4d B\n", h.LLTBytes, h.WGTBytes)
+	fmt.Fprintf(&b, "  SAP   DRQ %4d B   WQ  %4d B   PT %4d B\n", h.DRQBytes, h.WQBytes, h.PTBytes)
+	fmt.Fprintf(&b, "  Total %d bytes\n", h.Total())
+	return b.String()
+}

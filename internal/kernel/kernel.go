@@ -1,0 +1,240 @@
+// Package kernel is the trace substrate of the simulator: it models GPU
+// kernels as small programs of ALU, load, store and barrier-free control
+// instructions that every warp executes, with per-lane address generators
+// rich enough to reproduce the per-static-load behaviours the APRES paper
+// characterises in Table I (high-locality loads, inter-warp strided loads,
+// irregular loads, coalesced and uncoalesced access).
+package kernel
+
+import (
+	"fmt"
+
+	"apres/internal/arch"
+)
+
+// Op is an instruction opcode.
+type Op uint8
+
+const (
+	// OpALU is an arithmetic instruction (register-file only).
+	OpALU Op = iota
+	// OpLoad is a global-memory load.
+	OpLoad
+	// OpStore is a global-memory store (write-through, not waited on).
+	OpStore
+	// OpShared is a shared-memory (scratchpad) access; it costs an issue
+	// slot and energy but never reaches the L1.
+	OpShared
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpALU:
+		return "alu"
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpShared:
+		return "shared"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Inst is one static instruction of a kernel body.
+type Inst struct {
+	// Op is the opcode.
+	Op Op
+	// PC is the static instruction address (unique per body entry; used
+	// by Table I, the LLT, and the prefetch tables).
+	PC arch.PC
+	// Repeat issues the instruction Repeat times back to back (compact
+	// representation of ALU bursts); 0 means 1.
+	Repeat int
+	// RepeatJitter adds a pseudo-random extra 0..RepeatJitter repeats
+	// per (warp, iteration), modelling data-dependent work. The jitter
+	// desynchronises warps the way divergent loop trip counts do on real
+	// GPUs, which is what makes warps reach the same static load at
+	// different times (the situation LAWS's warp grouping targets).
+	RepeatJitter int
+	// DependsOnMem blocks issue until all of the warp's outstanding
+	// loads have returned (a use of loaded data).
+	DependsOnMem bool
+	// Pattern generates the addresses of loads and stores.
+	Pattern Pattern
+}
+
+// Program is a straight-line body executed Iterations times by every warp
+// (the paper's target loads all live in the hot loop of the most
+// memory-intensive kernel, Section III.B).
+type Program struct {
+	Body       []Inst
+	Iterations int
+}
+
+// Validate checks the program for structural errors.
+func (p Program) Validate() error {
+	if len(p.Body) == 0 {
+		return fmt.Errorf("kernel: empty program body")
+	}
+	if p.Iterations <= 0 {
+		return fmt.Errorf("kernel: Iterations must be positive, got %d", p.Iterations)
+	}
+	seen := map[arch.PC]bool{}
+	for i, in := range p.Body {
+		if in.Repeat < 0 {
+			return fmt.Errorf("kernel: body[%d] has negative Repeat", i)
+		}
+		switch in.Op {
+		case OpLoad, OpStore:
+			if in.PC == 0 {
+				return fmt.Errorf("kernel: body[%d] memory op needs a nonzero PC", i)
+			}
+			if seen[in.PC] {
+				return fmt.Errorf("kernel: duplicate PC %#x", in.PC)
+			}
+			seen[in.PC] = true
+		}
+	}
+	return nil
+}
+
+// Kernel couples a program with launch metadata.
+type Kernel struct {
+	// Name is the benchmark abbreviation (e.g. "KM").
+	Name string
+	// Program is the per-warp instruction stream.
+	Program Program
+	// WarpsPerSM is how many warps the kernel occupies on each SM
+	// concurrently (capped by the configuration's WarpsPerSM).
+	WarpsPerSM int
+	// LaunchWarpsPerSM is the total number of logical warps launched per
+	// SM over the kernel's lifetime; finished warps are replaced from
+	// this pool the way finished CTAs are replaced on real GPUs. Zero
+	// means equal to WarpsPerSM (no refill).
+	LaunchWarpsPerSM int
+}
+
+// TotalLaunches returns the number of logical warps per SM.
+func (k Kernel) TotalLaunches() int {
+	if k.LaunchWarpsPerSM > k.WarpsPerSM {
+		return k.LaunchWarpsPerSM
+	}
+	return k.WarpsPerSM
+}
+
+// Scaled returns a copy of the kernel with iteration count multiplied by
+// factor (minimum 1); used to shrink workloads for unit tests.
+func (k Kernel) Scaled(factor float64) Kernel {
+	it := int(float64(k.Program.Iterations) * factor)
+	if it < 1 {
+		it = 1
+	}
+	k.Program.Iterations = it
+	return k
+}
+
+// TotalWarpInsts returns the number of warp instructions one warp executes,
+// with Repeat expansion.
+func (k Kernel) TotalWarpInsts() int64 {
+	per := int64(0)
+	for _, in := range k.Program.Body {
+		r := in.Repeat
+		if r <= 0 {
+			r = 1
+		}
+		per += int64(r)
+	}
+	return per * int64(k.Program.Iterations)
+}
+
+// Walker steps one warp through a program, expanding Repeat counts (plus
+// the warp- and iteration-dependent RepeatJitter).
+type Walker struct {
+	prog *Program
+	warp arch.WarpID
+	// idx is the current body index; iter the current iteration.
+	idx, iter int
+	// repLeft counts remaining repeats of the current instruction.
+	repLeft int
+	done    bool
+}
+
+// NewWalker returns a walker positioned at warp's first instruction.
+func NewWalker(p *Program, warp arch.WarpID) Walker {
+	w := Walker{prog: p, warp: warp}
+	w.loadRep()
+	return w
+}
+
+func (w *Walker) loadRep() {
+	in := &w.prog.Body[w.idx]
+	r := in.Repeat
+	if r <= 0 {
+		r = 1
+	}
+	if in.RepeatJitter > 0 {
+		h := splitmix64(uint64(w.warp)<<40 ^ uint64(w.iter)<<8 ^ uint64(w.idx))
+		r += int(h % uint64(in.RepeatJitter+1))
+	}
+	w.repLeft = r
+}
+
+// Done reports whether the warp has exited.
+func (w *Walker) Done() bool { return w.done }
+
+// Iter returns the current iteration index.
+func (w *Walker) Iter() int { return w.iter }
+
+// Peek returns the next instruction without consuming it. It must not be
+// called after Done.
+func (w *Walker) Peek() *Inst { return &w.prog.Body[w.idx] }
+
+// Advance consumes one issue of the current instruction.
+func (w *Walker) Advance() {
+	if w.done {
+		return
+	}
+	w.repLeft--
+	if w.repLeft > 0 {
+		return
+	}
+	w.idx++
+	if w.idx == len(w.prog.Body) {
+		w.idx = 0
+		w.iter++
+		if w.iter == w.prog.Iterations {
+			w.done = true
+			return
+		}
+	}
+	w.loadRep()
+}
+
+// Remaining returns how many instruction issues remain for this warp,
+// excluding future RepeatJitter (exact only for jitter-free programs).
+func (w *Walker) Remaining() int64 {
+	if w.done {
+		return 0
+	}
+	per := int64(0)
+	for _, in := range w.prog.Body {
+		r := in.Repeat
+		if r <= 0 {
+			r = 1
+		}
+		per += int64(r)
+	}
+	full := per * int64(w.prog.Iterations-w.iter-1)
+	// Remainder of the current iteration.
+	cur := int64(w.repLeft)
+	for i := w.idx + 1; i < len(w.prog.Body); i++ {
+		r := w.prog.Body[i].Repeat
+		if r <= 0 {
+			r = 1
+		}
+		cur += int64(r)
+	}
+	return full + cur
+}

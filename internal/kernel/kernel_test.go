@@ -1,0 +1,211 @@
+package kernel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"apres/internal/arch"
+)
+
+func simpleProgram() Program {
+	return Program{
+		Body: []Inst{
+			{Op: OpALU, Repeat: 2},
+			{Op: OpLoad, PC: 0x10, Pattern: Pattern{LaneStride: 4}},
+			{Op: OpALU, DependsOnMem: true},
+		},
+		Iterations: 3,
+	}
+}
+
+func TestWalkerSequence(t *testing.T) {
+	p := simpleProgram()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	w := NewWalker(&p, 0)
+	var ops []Op
+	for !w.Done() {
+		ops = append(ops, w.Peek().Op)
+		w.Advance()
+	}
+	wantPerIter := []Op{OpALU, OpALU, OpLoad, OpALU}
+	if len(ops) != len(wantPerIter)*3 {
+		t.Fatalf("issued %d insts, want %d", len(ops), len(wantPerIter)*3)
+	}
+	for i, op := range ops {
+		if op != wantPerIter[i%len(wantPerIter)] {
+			t.Fatalf("inst %d: got %v, want %v", i, op, wantPerIter[i%len(wantPerIter)])
+		}
+	}
+}
+
+func TestWalkerRemaining(t *testing.T) {
+	p := simpleProgram()
+	w := NewWalker(&p, 0)
+	total := w.Remaining()
+	k := Kernel{Program: p}
+	if total != k.TotalWarpInsts() {
+		t.Fatalf("Remaining at start = %d, want %d", total, k.TotalWarpInsts())
+	}
+	for i := int64(0); !w.Done(); i++ {
+		if got := w.Remaining(); got != total-i {
+			t.Fatalf("after %d issues Remaining = %d, want %d", i, got, total-i)
+		}
+		w.Advance()
+	}
+	if w.Remaining() != 0 {
+		t.Fatal("Remaining after Done should be 0")
+	}
+}
+
+func TestValidateRejectsBadPrograms(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Program
+	}{
+		{"empty", Program{Iterations: 1}},
+		{"zero iterations", Program{Body: []Inst{{Op: OpALU}}}},
+		{"load without PC", Program{Body: []Inst{{Op: OpLoad}}, Iterations: 1}},
+		{"duplicate PC", Program{Body: []Inst{
+			{Op: OpLoad, PC: 0x10},
+			{Op: OpLoad, PC: 0x10},
+		}, Iterations: 1}},
+	}
+	for _, tc := range cases {
+		if err := tc.p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a bad program", tc.name)
+		}
+	}
+}
+
+func TestScaled(t *testing.T) {
+	k := Kernel{Program: simpleProgram()}
+	if got := k.Scaled(0.5).Program.Iterations; got != 1 {
+		t.Fatalf("Scaled(0.5) iterations = %d, want 1", got)
+	}
+	if got := k.Scaled(0.0001).Program.Iterations; got != 1 {
+		t.Fatalf("Scaled tiny iterations = %d, want clamped to 1", got)
+	}
+	if k.Program.Iterations != 3 {
+		t.Fatal("Scaled mutated the receiver")
+	}
+}
+
+func TestStridedPatternInterWarpStride(t *testing.T) {
+	p := Pattern{Base: 0x1000, WarpStride: 4352, LaneStride: 4}
+	a0 := p.Addr(0, 0, 0, 0)
+	a1 := p.Addr(0, 1, 0, 0)
+	if int64(a1)-int64(a0) != 4352 {
+		t.Fatalf("inter-warp stride = %d, want 4352", int64(a1)-int64(a0))
+	}
+}
+
+func TestPatternWrapConfinesFootprint(t *testing.T) {
+	p := Pattern{Base: 0, WarpStride: 1 << 20, WrapBytes: 4096, LaneStride: 0}
+	for w := arch.WarpID(0); w < 48; w++ {
+		a := p.Addr(0, w, 0, 0)
+		if a >= 4096 {
+			t.Fatalf("warp %d escaped wrap region: %#x", w, a)
+		}
+	}
+}
+
+func TestRandomPatternDeterministicAndAligned(t *testing.T) {
+	p := Pattern{Base: 0, WrapBytes: 1 << 20, Random: true, Seed: 7}
+	a := p.Addr(0, 3, 5, 0)
+	b := p.Addr(0, 3, 5, 0)
+	if a != b {
+		t.Fatal("random pattern not deterministic")
+	}
+	if a%arch.LineSizeBytes != 0 {
+		t.Fatalf("random offset %#x not line aligned", a)
+	}
+	if c := p.Addr(0, 3, 6, 0); c == a {
+		t.Fatal("different iterations should (almost surely) differ")
+	}
+}
+
+func TestSMStrideSeparatesSMs(t *testing.T) {
+	p := Pattern{Base: 0, SMStride: 1 << 24, LaneStride: 4}
+	if p.Addr(0, 0, 0, 0) == p.Addr(1, 0, 0, 0) {
+		t.Fatal("SMs with SMStride should not collide")
+	}
+	shared := Pattern{Base: 0x100, LaneStride: 4}
+	if shared.Addr(0, 0, 0, 0) != shared.Addr(5, 0, 0, 0) {
+		t.Fatal("SMStride 0 should share addresses across SMs")
+	}
+}
+
+func TestCoalesceFullyCoalesced(t *testing.T) {
+	p := Pattern{Base: 0x1000, LaneStride: 4}
+	addrs := make([]arch.Addr, arch.WarpSize)
+	p.LaneAddrs(addrs, 0, 0, 0)
+	lines := Coalesce(nil, addrs)
+	if len(lines) != 1 {
+		t.Fatalf("32 lanes x 4B from aligned base: %d lines, want 1", len(lines))
+	}
+}
+
+func TestCoalesceUncoalesced(t *testing.T) {
+	p := Pattern{Base: 0, LaneStride: arch.LineSizeBytes}
+	addrs := make([]arch.Addr, arch.WarpSize)
+	p.LaneAddrs(addrs, 0, 0, 0)
+	lines := Coalesce(nil, addrs)
+	if len(lines) != arch.WarpSize {
+		t.Fatalf("line-strided lanes: %d lines, want %d", len(lines), arch.WarpSize)
+	}
+}
+
+func TestCoalescePreservesOrderAndDedups(t *testing.T) {
+	addrs := []arch.Addr{130, 0, 1, 256, 129}
+	lines := Coalesce(nil, addrs)
+	want := []arch.LineAddr{1, 0, 2}
+	if len(lines) != len(want) {
+		t.Fatalf("got %v, want %v", lines, want)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("got %v, want %v", lines, want)
+		}
+	}
+}
+
+// Property: Coalesce output contains exactly the set of distinct lines.
+func TestQuickCoalesceSetEquality(t *testing.T) {
+	f := func(raw []uint32) bool {
+		addrs := make([]arch.Addr, len(raw))
+		set := map[arch.LineAddr]bool{}
+		for i, r := range raw {
+			addrs[i] = arch.Addr(r)
+			set[arch.Addr(r).Line()] = true
+		}
+		lines := Coalesce(nil, addrs)
+		if len(lines) != len(set) {
+			return false
+		}
+		for _, l := range lines {
+			if !set[l] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: linear pattern addresses are affine in warp and iter when no
+// wrap applies.
+func TestQuickPatternAffine(t *testing.T) {
+	f := func(ws, is uint16, warp, iter uint8) bool {
+		p := Pattern{Base: 1 << 30, WarpStride: int64(ws), IterStride: int64(is), LaneStride: 4}
+		a := p.Addr(0, arch.WarpID(warp), int(iter), 0)
+		want := int64(1<<30) + int64(warp)*int64(ws) + int64(iter)*int64(is)
+		return int64(a) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,133 @@
+// Address generation for synthetic kernels. One Pattern struct expresses the
+// access shapes of Table I: inter-warp strided scans (stride = WarpStride),
+// shared/high-locality loads (WarpStride 0 with a small Wrap region),
+// irregular accesses (Random over a footprint), and both coalesced
+// (LaneStride 4) and uncoalesced (LaneRandom or large LaneStride) lane
+// behaviour.
+package kernel
+
+import "apres/internal/arch"
+
+// Pattern describes the address function of one static memory instruction.
+// The effective address for (sm, warp, iter, lane) is
+//
+//	Base + sm*SMStride + wrap(warp*WarpStride + iter*IterStride) + laneOff
+//
+// where wrap confines the offset to WrapBytes when nonzero, and Random
+// replaces the linear warp/iter term with a hash over (Seed, warp, iter)
+// within WrapBytes.
+type Pattern struct {
+	// Base is the array base address.
+	Base arch.Addr
+	// SMStride separates the footprints of different SMs (0 models
+	// read-only data shared GPU-wide, e.g. KMeans centroids).
+	SMStride int64
+	// WarpStride is the inter-warp stride the paper's Table I reports;
+	// SAP predicts other warps' addresses from it.
+	WarpStride int64
+	// IterStride advances the access each loop iteration.
+	IterStride int64
+	// IterWrapBytes wraps only the iteration term, so each warp scans a
+	// private region of this size repeatedly (intra-warp reuse, e.g.
+	// KMeans re-reading its centroid block).
+	IterWrapBytes int64
+	// LaneStride spaces the 32 lanes of the warp; 4 (a 4-byte element)
+	// keeps the warp inside one 128 B line (fully coalesced).
+	LaneStride int64
+	// WrapBytes confines the warp/iter offset to a region of this size
+	// (the working-set knob); 0 means unbounded.
+	WrapBytes int64
+	// WarpShare makes groups of WarpShare consecutive warps share
+	// addresses (the warp ID is divided by it before use): 0 or 1 means
+	// every warp distinct; a value >= the warp count makes the address
+	// warp-invariant — the inter-warp-locality loads of Table I.
+	WarpShare int
+	// Random draws the warp/iter offset pseudo-randomly (128 B aligned)
+	// from WrapBytes instead of the linear term (irregular loads).
+	Random bool
+	// LaneRandom additionally randomises each lane within WrapBytes,
+	// producing fully uncoalesced accesses.
+	LaneRandom bool
+	// Seed perturbs the hash for Random/LaneRandom patterns.
+	Seed uint64
+}
+
+// splitmix64 is the SplitMix64 mixing function: a tiny, high-quality,
+// deterministic hash for synthetic address generation.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Addr returns the byte address accessed by the given lane.
+func (p Pattern) Addr(sm int, warp arch.WarpID, iter, lane int) arch.Addr {
+	if p.WarpShare > 1 {
+		warp /= arch.WarpID(p.WarpShare)
+	}
+	var off int64
+	if p.Random {
+		h := splitmix64(p.Seed ^ splitmix64(uint64(warp)<<32^uint64(iter)))
+		if p.WrapBytes > 0 {
+			off = int64(h%uint64(p.WrapBytes)) &^ (arch.LineSizeBytes - 1)
+		}
+	} else {
+		iterOff := int64(iter) * p.IterStride
+		if p.IterWrapBytes > 0 {
+			iterOff %= p.IterWrapBytes
+			if iterOff < 0 {
+				iterOff += p.IterWrapBytes
+			}
+		}
+		off = int64(warp)*p.WarpStride + iterOff
+		if p.WrapBytes > 0 {
+			off %= p.WrapBytes
+			if off < 0 {
+				off += p.WrapBytes
+			}
+		}
+	}
+	var laneOff int64
+	if p.LaneRandom {
+		h := splitmix64(p.Seed ^ 0xabcd ^ splitmix64(uint64(warp)<<40^uint64(iter)<<8^uint64(lane)))
+		if p.WrapBytes > 0 {
+			laneOff = int64(h % uint64(p.WrapBytes))
+		}
+	} else {
+		laneOff = int64(lane) * p.LaneStride
+	}
+	addr := int64(p.Base) + int64(sm)*p.SMStride + off + laneOff
+	if addr < 0 {
+		addr = -addr
+	}
+	return arch.Addr(addr)
+}
+
+// LaneAddrs fills dst (len arch.WarpSize) with all lane addresses.
+func (p Pattern) LaneAddrs(dst []arch.Addr, sm int, warp arch.WarpID, iter int) {
+	for lane := range dst {
+		dst[lane] = p.Addr(sm, warp, iter, lane)
+	}
+}
+
+// Coalesce reduces a warp's lane addresses to the unique cache lines they
+// touch, preserving first-appearance order (the memory request coalescing of
+// Section II). dst is an optional reuse buffer.
+func Coalesce(dst []arch.LineAddr, addrs []arch.Addr) []arch.LineAddr {
+	dst = dst[:0]
+	for _, a := range addrs {
+		l := a.Line()
+		dup := false
+		for _, seen := range dst {
+			if seen == l {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, l)
+		}
+	}
+	return dst
+}

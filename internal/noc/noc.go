@@ -1,0 +1,71 @@
+// Package noc models the interconnect between the memory partitions and the
+// SMs: memory responses queue per destination SM and drain at a finite
+// per-SM byte bandwidth. It is also the measurement point for Figure 14's
+// "data moved from memory to SM" traffic metric.
+package noc
+
+import (
+	"apres/internal/arch"
+	"apres/internal/dram"
+	"apres/internal/stats"
+)
+
+// maxCreditLines caps banked bandwidth so an idle period cannot fund an
+// unbounded delivery burst.
+const maxCreditLines = 4
+
+// Network delivers memory responses to SMs with per-SM bandwidth limits.
+type Network struct {
+	bytesPerCycle int
+	queues        [][]dram.Response // per SM, FIFO in ReadyCycle order
+	credit        []int
+	st            *stats.Stats
+}
+
+// New builds a network for numSMs SMs with the given per-SM response
+// bandwidth in bytes per cycle.
+func New(numSMs, bytesPerCycle int, st *stats.Stats) *Network {
+	return &Network{
+		bytesPerCycle: bytesPerCycle,
+		queues:        make([][]dram.Response, numSMs),
+		credit:        make([]int, numSMs),
+		st:            st,
+	}
+}
+
+// Enqueue routes a completed response toward its SM.
+func (n *Network) Enqueue(r dram.Response) {
+	n.queues[r.Req.SM] = append(n.queues[r.Req.SM], r)
+}
+
+// Deliver returns the responses that reach SM sm at the given cycle, limited
+// by the SM's accumulated bandwidth credit. The returned slice is only valid
+// until the next Deliver call for the same SM.
+func (n *Network) Deliver(sm int, cycle int64) []dram.Response {
+	n.credit[sm] += n.bytesPerCycle
+	if maxBytes := maxCreditLines * arch.LineSizeBytes; n.credit[sm] > maxBytes {
+		n.credit[sm] = maxBytes
+	}
+	q := n.queues[sm]
+	delivered := 0
+	for delivered < len(q) &&
+		q[delivered].ReadyCycle <= cycle &&
+		n.credit[sm] >= arch.LineSizeBytes {
+		n.credit[sm] -= arch.LineSizeBytes
+		n.st.BytesToSM += arch.LineSizeBytes
+		delivered++
+	}
+	out := q[:delivered]
+	n.queues[sm] = q[delivered:]
+	return out
+}
+
+// Pending reports whether any responses remain undelivered.
+func (n *Network) Pending() bool {
+	for _, q := range n.queues {
+		if len(q) > 0 {
+			return true
+		}
+	}
+	return false
+}

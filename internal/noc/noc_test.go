@@ -1,0 +1,91 @@
+package noc
+
+import (
+	"testing"
+
+	"apres/internal/arch"
+	"apres/internal/dram"
+	"apres/internal/stats"
+)
+
+func resp(sm int, ready int64) dram.Response {
+	return dram.Response{Req: arch.MemReq{SM: sm}, ReadyCycle: ready}
+}
+
+func TestDeliveryRespectsReadyCycle(t *testing.T) {
+	var st stats.Stats
+	n := New(2, 1024, &st)
+	n.Enqueue(resp(0, 10))
+	if got := n.Deliver(0, 5); len(got) != 0 {
+		t.Fatalf("delivered %d responses before ready cycle", len(got))
+	}
+	if got := n.Deliver(0, 10); len(got) != 1 {
+		t.Fatalf("delivered %d responses at ready cycle, want 1", len(got))
+	}
+}
+
+func TestBandwidthLimit(t *testing.T) {
+	var st stats.Stats
+	// 32 B/cycle = one 128 B line every 4 cycles.
+	n := New(1, 32, &st)
+	for i := 0; i < 3; i++ {
+		n.Enqueue(resp(0, 0))
+	}
+	delivered := 0
+	// Drain any banked credit first.
+	n.credit[0] = 0
+	for cyc := int64(1); cyc <= 12; cyc++ {
+		delivered += len(n.Deliver(0, cyc))
+	}
+	if delivered != 3 {
+		t.Fatalf("delivered %d over 12 cycles at 1 line/4cyc, want 3", delivered)
+	}
+	// Verify pacing: nothing can be delivered in back-to-back cycles
+	// with empty credit.
+	n.Enqueue(resp(0, 0))
+	n.Enqueue(resp(0, 0))
+	n.credit[0] = 0
+	first := len(n.Deliver(0, 100)) + len(n.Deliver(0, 101)) + len(n.Deliver(0, 102))
+	if first > 1 {
+		t.Fatalf("delivered %d lines in 3 cycles at 32 B/cycle, want <=1", first)
+	}
+}
+
+func TestCreditCap(t *testing.T) {
+	var st stats.Stats
+	n := New(1, 1024, &st)
+	// A long idle period must not bank unlimited credit.
+	for cyc := int64(0); cyc < 1000; cyc++ {
+		n.Deliver(0, cyc)
+	}
+	if n.credit[0] > maxCreditLines*arch.LineSizeBytes {
+		t.Fatalf("credit %d exceeds cap", n.credit[0])
+	}
+}
+
+func TestPerSMIsolation(t *testing.T) {
+	var st stats.Stats
+	n := New(2, 1024, &st)
+	n.Enqueue(resp(0, 0))
+	n.Enqueue(resp(1, 0))
+	if got := n.Deliver(0, 1); len(got) != 1 || got[0].Req.SM != 0 {
+		t.Fatalf("SM0 delivery wrong: %+v", got)
+	}
+	if got := n.Deliver(1, 1); len(got) != 1 || got[0].Req.SM != 1 {
+		t.Fatalf("SM1 delivery wrong: %+v", got)
+	}
+	if n.Pending() {
+		t.Fatal("all responses delivered but Pending() is true")
+	}
+}
+
+func TestTrafficCounting(t *testing.T) {
+	var st stats.Stats
+	n := New(1, 1024, &st)
+	n.Enqueue(resp(0, 0))
+	n.Enqueue(resp(0, 0))
+	n.Deliver(0, 1)
+	if st.BytesToSM != 2*arch.LineSizeBytes {
+		t.Fatalf("BytesToSM = %d, want %d", st.BytesToSM, 2*arch.LineSizeBytes)
+	}
+}

@@ -1,0 +1,92 @@
+// Two-level and prefetch-aware (PA) group schedulers. Both divide warps
+// into fetch groups and issue from one active group at a time, switching
+// when the active group has no ready warp (Narasiman et al., MICRO 2011).
+// They differ only in group membership: two-level groups CONSECUTIVE warp
+// IDs; the prefetch-aware scheduler of Jog et al. (ISCA 2013) assigns
+// NON-consecutive warps to a group so one group's accesses can prefetch for
+// warps of the next group.
+package sched
+
+import "apres/internal/arch"
+
+// groupScheduler is the shared machinery of TwoLevel and PA.
+type groupScheduler struct {
+	Base
+	name      string
+	numWarps  int
+	numGroups int
+	// groupOf maps a warp to its group.
+	groupOf func(arch.WarpID) int
+	active  int
+	// rr is a per-group round-robin pointer.
+	rr []arch.WarpID
+}
+
+// Name implements Scheduler.
+func (s *groupScheduler) Name() string { return s.name }
+
+// Pick implements Scheduler.
+func (s *groupScheduler) Pick(ready arch.WarpMask, _ int64) (arch.WarpID, bool) {
+	for gi := 0; gi < s.numGroups; gi++ {
+		g := (s.active + gi) % s.numGroups
+		if w, ok := s.pickInGroup(g, ready); ok {
+			s.active = g
+			return w, true
+		}
+	}
+	return 0, false
+}
+
+func (s *groupScheduler) pickInGroup(g int, ready arch.WarpMask) (arch.WarpID, bool) {
+	for i := 0; i < s.numWarps; i++ {
+		w := (s.rr[g] + arch.WarpID(i)) % arch.WarpID(s.numWarps)
+		if s.groupOf(w) == g && ready.Has(w) {
+			s.rr[g] = (w + 1) % arch.WarpID(s.numWarps)
+			return w, true
+		}
+	}
+	return 0, false
+}
+
+// TwoLevel groups consecutive warp IDs into fetch groups of the given size.
+type TwoLevel struct{ groupScheduler }
+
+// NewTwoLevel builds a two-level scheduler with fetch groups of groupSize
+// consecutive warps.
+func NewTwoLevel(numWarps, groupSize int) *TwoLevel {
+	if groupSize <= 0 {
+		groupSize = 8
+	}
+	numGroups := (numWarps + groupSize - 1) / groupSize
+	s := &TwoLevel{groupScheduler{
+		name:      "twolevel",
+		numWarps:  numWarps,
+		numGroups: numGroups,
+		rr:        make([]arch.WarpID, numGroups),
+	}}
+	s.groupOf = func(w arch.WarpID) int { return int(w) / groupSize }
+	return s
+}
+
+// PA is the prefetch-aware group scheduler: warps are assigned to groups by
+// modulo so consecutive warps (which access consecutive data) land in
+// different groups.
+type PA struct{ groupScheduler }
+
+// NewPA builds a prefetch-aware scheduler with the given group count.
+func NewPA(numWarps, numGroups int) *PA {
+	if numGroups <= 0 {
+		numGroups = 8
+	}
+	if numGroups > numWarps {
+		numGroups = numWarps
+	}
+	s := &PA{groupScheduler{
+		name:      "pa",
+		numWarps:  numWarps,
+		numGroups: numGroups,
+		rr:        make([]arch.WarpID, numGroups),
+	}}
+	s.groupOf = func(w arch.WarpID) int { return int(w) % numGroups }
+	return s
+}

@@ -1,0 +1,168 @@
+// LAWS — Locality Aware Warp Scheduling, the scheduling half of APRES
+// (Section IV.A of the paper).
+//
+// LAWS keeps warps in a priority-ordered scheduling queue and issues the
+// first ready warp, which makes a small set of leading warps run greedily.
+// A Last Load Table (LLT) records the PC of the last global load each warp
+// issued. When a warp issues a load, every warp whose LLT matches the
+// issuing warp's previous load PC is grouped with it in the Warp Group
+// Table (WGT): those warps executed the same load last, so they are about
+// to execute this same load too. The L1 result of the group's head warp
+// then acts as a proxy for the whole group: on a hit the group is moved to
+// the queue head (the load has locality, the others will hit the same
+// lines); on a miss the group is demoted to the tail, and — under APRES —
+// handed to the SAP prefetcher, whose prefetch-target warps LAWS then
+// re-prioritises so their demands merge into the in-flight prefetches.
+package sched
+
+import "apres/internal/arch"
+
+// noLLPC marks a warp that has not issued any load yet. All such warps
+// share the same (empty) load history and are groupable, which warms the
+// mechanism up at kernel start.
+const noLLPC arch.PC = 0
+
+type wgtEntry struct {
+	id    int
+	mask  arch.WarpMask
+	valid bool
+}
+
+// LAWS implements the locality-aware warp scheduler.
+type LAWS struct {
+	Base
+	numWarps     int
+	tailDemotion bool
+
+	queue []arch.WarpID // priority order, head first
+	llt   []arch.PC
+	wgt   []wgtEntry
+	wgtRR int // ring allocation pointer
+	nexID int
+}
+
+// NewLAWS builds a LAWS scheduler with the given WGT capacity (the paper
+// uses 3, matching the issue-to-execute depth) and tail-demotion policy.
+func NewLAWS(numWarps, wgtEntries int, tailDemotion bool) *LAWS {
+	if wgtEntries <= 0 {
+		wgtEntries = 3
+	}
+	s := &LAWS{
+		numWarps:     numWarps,
+		tailDemotion: tailDemotion,
+		queue:        make([]arch.WarpID, numWarps),
+		llt:          make([]arch.PC, numWarps),
+		wgt:          make([]wgtEntry, wgtEntries),
+	}
+	for i := range s.queue {
+		s.queue[i] = arch.WarpID(i)
+	}
+	return s
+}
+
+// Name implements Scheduler.
+func (s *LAWS) Name() string { return "laws" }
+
+// Pick implements Scheduler: the first ready warp in queue priority order.
+func (s *LAWS) Pick(ready arch.WarpMask, _ int64) (arch.WarpID, bool) {
+	for _, w := range s.queue {
+		if ready.Has(w) {
+			return w, true
+		}
+	}
+	return 0, false
+}
+
+// OnLoadIssued implements Scheduler: form a warp group from LLT matches and
+// record it in the WGT.
+func (s *LAWS) OnLoadIssued(w arch.WarpID, pc arch.PC) int {
+	if int(w) >= s.numWarps {
+		return NoGroup
+	}
+	llpc := s.llt[w]
+	mask := arch.Bit(w)
+	for other := 0; other < s.numWarps; other++ {
+		if arch.WarpID(other) != w && s.llt[other] == llpc {
+			mask = mask.Set(arch.WarpID(other))
+		}
+	}
+	s.llt[w] = pc
+
+	id := s.nexID
+	s.nexID++
+	s.wgt[s.wgtRR] = wgtEntry{id: id, mask: mask, valid: true}
+	s.wgtRR = (s.wgtRR + 1) % len(s.wgt)
+	return id
+}
+
+// OnCacheResult implements Scheduler: use the head warp's L1 outcome as the
+// group's locality proxy, reprioritise, invalidate the WGT entry, and
+// return the group so the core can couple a miss to SAP.
+func (s *LAWS) OnCacheResult(w arch.WarpID, _ arch.PC, _ arch.LineAddr, hit bool, group int) arch.WarpMask {
+	if group == NoGroup {
+		return 0
+	}
+	for i := range s.wgt {
+		e := &s.wgt[i]
+		if !e.valid || e.id != group {
+			continue
+		}
+		mask := e.mask
+		e.valid = false
+		if hit {
+			s.moveToHead(mask)
+		} else if s.tailDemotion {
+			s.moveToTail(mask)
+		}
+		return mask
+	}
+	return 0
+}
+
+// PrioritizeWarps implements Scheduler: SAP's prefetch-target warps move to
+// the queue head so their demand accesses merge into the in-flight
+// prefetches before the lines can be evicted.
+func (s *LAWS) PrioritizeWarps(mask arch.WarpMask) { s.moveToHead(mask) }
+
+// moveToHead stably partitions the queue with group members first.
+func (s *LAWS) moveToHead(mask arch.WarpMask) {
+	s.partition(mask, true)
+}
+
+// moveToTail stably partitions the queue with group members last.
+func (s *LAWS) moveToTail(mask arch.WarpMask) {
+	s.partition(mask, false)
+}
+
+func (s *LAWS) partition(mask arch.WarpMask, membersFirst bool) {
+	members := make([]arch.WarpID, 0, len(s.queue))
+	rest := make([]arch.WarpID, 0, len(s.queue))
+	for _, w := range s.queue {
+		if mask.Has(w) {
+			members = append(members, w)
+		} else {
+			rest = append(rest, w)
+		}
+	}
+	s.queue = s.queue[:0]
+	if membersFirst {
+		s.queue = append(s.queue, members...)
+		s.queue = append(s.queue, rest...)
+	} else {
+		s.queue = append(s.queue, rest...)
+		s.queue = append(s.queue, members...)
+	}
+}
+
+// OnWarpRelaunched implements Scheduler: clear the slot's load history.
+func (s *LAWS) OnWarpRelaunched(w arch.WarpID) {
+	if int(w) < s.numWarps {
+		s.llt[w] = noLLPC
+	}
+}
+
+// Queue exposes the current priority order (for tests and tracing).
+func (s *LAWS) Queue() []arch.WarpID { return s.queue }
+
+// LLPC exposes warp w's last-load PC (for tests).
+func (s *LAWS) LLPC(w arch.WarpID) arch.PC { return s.llt[w] }

@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDerivedMetrics(t *testing.T) {
+	s := Stats{
+		Cycles:          1000,
+		Instructions:    500,
+		L1Accesses:      100,
+		L1Hits:          40,
+		L1ColdMisses:    20,
+		L1CapConfMisses: 30,
+		L1MSHRMerges:    10,
+		MemLatencySum:   4400,
+		MemLatencyCount: 10,
+	}
+	if got := s.IPC(); got != 0.5 {
+		t.Errorf("IPC = %v, want 0.5", got)
+	}
+	if got := s.L1Misses(); got != 60 {
+		t.Errorf("L1Misses = %d, want 60", got)
+	}
+	if got := s.L1MissRate(); got != 0.6 {
+		t.Errorf("miss rate = %v, want 0.6", got)
+	}
+	if got := s.L1HitRate(); got != 0.4 {
+		t.Errorf("hit rate = %v, want 0.4", got)
+	}
+	if got := s.ColdMissRate(); got != 0.2 {
+		t.Errorf("cold rate = %v, want 0.2", got)
+	}
+	if got := s.CapConfMissRate(); got != 0.4 {
+		t.Errorf("cap+conf rate = %v, want 0.4 (includes merges)", got)
+	}
+	if got := s.AvgMemLatency(); got != 440 {
+		t.Errorf("avg latency = %v, want 440", got)
+	}
+}
+
+func TestEarlyEvictionRatio(t *testing.T) {
+	s := Stats{PrefetchUseful: 87, PrefetchEarlyEvicted: 13}
+	if got := s.EarlyEvictionRatio(); got != 0.13 {
+		t.Errorf("early eviction ratio = %v, want 0.13", got)
+	}
+	var empty Stats
+	if empty.EarlyEvictionRatio() != 0 {
+		t.Error("empty stats should have zero ratio")
+	}
+}
+
+func TestZeroDivisionSafety(t *testing.T) {
+	var s Stats
+	if s.IPC() != 0 || s.L1MissRate() != 0 || s.L1HitRate() != 0 ||
+		s.ColdMissRate() != 0 || s.CapConfMissRate() != 0 || s.AvgMemLatency() != 0 {
+		t.Error("zero stats must not divide by zero")
+	}
+}
+
+func TestAddTakesMaxCycles(t *testing.T) {
+	a := Stats{Cycles: 100, Instructions: 10}
+	b := Stats{Cycles: 200, Instructions: 20}
+	a.Add(&b)
+	if a.Cycles != 200 {
+		t.Errorf("cycles = %d, want max 200", a.Cycles)
+	}
+	if a.Instructions != 30 {
+		t.Errorf("instructions = %d, want summed 30", a.Instructions)
+	}
+}
+
+// Property: Add sums every additive counter (spot-checked over a sample of
+// fields) and never decreases any field.
+func TestQuickAddMonotone(t *testing.T) {
+	f := func(a1, a2, h1, h2 uint16) bool {
+		a := Stats{L1Accesses: int64(a1), L1Hits: int64(h1)}
+		b := Stats{L1Accesses: int64(a2), L1Hits: int64(h2)}
+		a.Add(&b)
+		return a.L1Accesses == int64(a1)+int64(a2) && a.L1Hits == int64(h1)+int64(h2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,161 @@
+package workloads
+
+import (
+	"testing"
+
+	"apres/internal/arch"
+	"apres/internal/kernel"
+)
+
+func TestAllReturnsFifteenInPaperOrder(t *testing.T) {
+	ws := All()
+	if len(ws) != 15 {
+		t.Fatalf("got %d workloads, want 15", len(ws))
+	}
+	want := []string{"BFS", "MUM", "NW", "SPMV", "KM", "LUD", "SRAD", "PA", "HISTO", "BP", "PF", "CS", "ST", "HS", "SP"}
+	for i, w := range ws {
+		if w.Name() != want[i] {
+			t.Fatalf("workload %d = %s, want %s", i, w.Name(), want[i])
+		}
+	}
+}
+
+func TestCategoriesMatchTableIV(t *testing.T) {
+	wantCat := map[string]Category{
+		"BFS": CacheSensitive, "MUM": CacheSensitive, "NW": CacheSensitive,
+		"SPMV": CacheSensitive, "KM": CacheSensitive,
+		"LUD": CacheInsensitive, "SRAD": CacheInsensitive, "PA": CacheInsensitive,
+		"HISTO": CacheInsensitive, "BP": CacheInsensitive,
+		"PF": ComputeIntensive, "CS": ComputeIntensive, "ST": ComputeIntensive,
+		"HS": ComputeIntensive, "SP": ComputeIntensive,
+	}
+	for _, w := range All() {
+		if w.Category != wantCat[w.Name()] {
+			t.Errorf("%s category = %v, want %v", w.Name(), w.Category, wantCat[w.Name()])
+		}
+	}
+	if n := len(MemoryIntensiveSet()); n != 10 {
+		t.Errorf("memory-intensive set has %d apps, want 10", n)
+	}
+}
+
+func TestAllProgramsValidate(t *testing.T) {
+	for _, w := range All() {
+		if err := w.Kernel.Program.Validate(); err != nil {
+			t.Errorf("%s: %v", w.Name(), err)
+		}
+		if w.Kernel.WarpsPerSM <= 0 {
+			t.Errorf("%s: no warps", w.Name())
+		}
+		if w.Description == "" {
+			t.Errorf("%s: missing description", w.Name())
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, ok := ByName("KM")
+	if !ok || w.Name() != "KM" {
+		t.Fatal("ByName(KM) failed")
+	}
+	if _, ok := ByName("NOPE"); ok {
+		t.Fatal("ByName accepted unknown name")
+	}
+	if len(Names()) != 15 {
+		t.Fatal("Names() should list 15 apps")
+	}
+}
+
+func TestTableIStrides(t *testing.T) {
+	// Spot-check the headline Table I strides baked into the models.
+	cases := []struct {
+		app    string
+		pc     arch.PC
+		stride int64
+	}{
+		{"KM", 0xE8, 4352},
+		{"NW", 0x490, -1966080},
+		{"HISTO", 0x168, 512},
+		{"BP", 0x3F8, 128},
+		{"SRAD", 0x250, 16384},
+	}
+	for _, tc := range cases {
+		w, ok := ByName(tc.app)
+		if !ok {
+			t.Fatalf("missing %s", tc.app)
+		}
+		found := false
+		for _, in := range w.Kernel.Program.Body {
+			if in.Op == kernel.OpLoad && in.PC == tc.pc {
+				found = true
+				if in.Pattern.WarpStride != tc.stride {
+					t.Errorf("%s %#x: WarpStride = %d, want %d", tc.app, tc.pc, in.Pattern.WarpStride, tc.stride)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%s: load %#x not found", tc.app, tc.pc)
+		}
+	}
+}
+
+func TestKMIsSingleLoad(t *testing.T) {
+	w, _ := ByName("KM")
+	loads := 0
+	for _, in := range w.Kernel.Program.Body {
+		if in.Op == kernel.OpLoad {
+			loads++
+		}
+	}
+	if loads != 1 {
+		t.Fatalf("KM has %d loads, want 1 (Table I: 100%% of requests from one load)", loads)
+	}
+}
+
+func TestComputeAppsAreComputeHeavy(t *testing.T) {
+	for _, w := range All() {
+		var alu, mem int64
+		for _, in := range w.Kernel.Program.Body {
+			r := int64(in.Repeat)
+			if r <= 0 {
+				r = 1
+			}
+			switch in.Op {
+			case kernel.OpALU, kernel.OpShared:
+				alu += r
+			case kernel.OpLoad, kernel.OpStore:
+				mem += r
+			}
+		}
+		ratio := float64(alu) / float64(mem)
+		if w.Category == ComputeIntensive && ratio < 10 {
+			t.Errorf("%s: compute-intensive but ALU/mem ratio only %.1f", w.Name(), ratio)
+		}
+		if w.Category != ComputeIntensive && ratio > 15 {
+			t.Errorf("%s: memory-intensive but ALU/mem ratio %.1f", w.Name(), ratio)
+		}
+	}
+}
+
+func TestPerSMSeparationExceptSharedData(t *testing.T) {
+	// All loads should either separate SMs via SMStride or deliberately
+	// model GPU-wide shared data; every current workload separates.
+	for _, w := range All() {
+		for _, in := range w.Kernel.Program.Body {
+			if in.Op != kernel.OpLoad && in.Op != kernel.OpStore {
+				continue
+			}
+			if in.Pattern.SMStride == 0 {
+				t.Errorf("%s %#x: SMStride 0 (unintended cross-SM sharing)", w.Name(), in.PC)
+			}
+		}
+	}
+}
+
+func TestWarpRefillConfigured(t *testing.T) {
+	for _, w := range All() {
+		if w.Kernel.TotalLaunches() <= w.Kernel.WarpsPerSM {
+			t.Errorf("%s: no CTA refill configured", w.Name())
+		}
+	}
+}
