@@ -12,6 +12,7 @@ package apres_test
 // runs the same experiments at full scale.
 
 import (
+	"fmt"
 	"testing"
 
 	"apres/internal/config"
@@ -290,6 +291,27 @@ func BenchmarkAblationCoupling(b *testing.B) {
 	}
 	b.ReportMetric(coupled, "apres-speedup")
 	b.ReportMetric(uncoupled, "laws+str-speedup")
+}
+
+// BenchmarkFig10ByJobs measures the worker pool's scaling: the same figure
+// regenerated from a cold cache at increasing -jobs widths. On a multicore
+// host the wall time per op should drop roughly linearly until the core
+// count (or the longest single simulation) is reached.
+func BenchmarkFig10ByJobs(b *testing.B) {
+	for _, jobs := range []int{1, 2, 4, 8} {
+		jobs := jobs
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// A fresh runner per iteration busts the cache so the
+				// benchmark measures simulation fan-out, not memoisation.
+				r := harness.NewRunner(benchScale, benchSMs)
+				r.Jobs = jobs
+				if _, err := r.Fig10(ablationApps); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkSimulatorThroughput measures raw simulation speed (cycles

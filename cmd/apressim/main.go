@@ -1,9 +1,15 @@
-// Command apressim runs one GPU simulation and prints its statistics.
+// Command apressim runs one or more GPU simulations and prints their
+// statistics.
 //
 // Usage:
 //
 //	apressim -workload KM -scheduler laws -prefetcher sap -apres
 //	apressim -workload BFS -scheduler ccws -prefetcher str -loadstats
+//	apressim -workload BFS,KM,SP -jobs 4   # fan out over a worker pool
+//
+// With a comma-separated workload list the runs execute concurrently
+// (bounded by -jobs) and print in the order given, so output stays
+// deterministic.
 package main
 
 import (
@@ -11,7 +17,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+	"strings"
+	"sync"
 	"time"
 
 	"apres/internal/arch"
@@ -23,13 +32,14 @@ import (
 
 func main() {
 	var (
-		workload  = flag.String("workload", "BFS", "benchmark abbreviation (see -list)")
+		workload  = flag.String("workload", "BFS", "benchmark abbreviation, or a comma-separated list (see -list)")
 		scheduler = flag.String("scheduler", "lrr", "warp scheduler: lrr|gto|twolevel|ccws|mascar|pa|laws")
 		pref      = flag.String("prefetcher", "none", "prefetcher: none|str|sld|sap")
 		apres     = flag.Bool("apres", false, "enable the APRES LAWS<->SAP coupling (implies -scheduler laws -prefetcher sap)")
 		sms       = flag.Int("sms", 0, "override number of SMs (0 = Table III value)")
 		l1KB      = flag.Int("l1kb", 0, "override L1 size in KiB (0 = Table III value)")
 		scale     = flag.Float64("scale", 1, "workload iteration scale factor")
+		jobs      = flag.Int("jobs", 0, "max concurrent simulations when multiple workloads are given (0 = GOMAXPROCS)")
 		loadstats = flag.Bool("loadstats", false, "collect per-PC load characterisation (Table I)")
 		asJSON    = flag.Bool("json", false, "emit the full result as JSON instead of text")
 		list      = flag.Bool("list", false, "list workloads and exit")
@@ -43,10 +53,24 @@ func main() {
 		return
 	}
 
-	w, ok := workloads.ByName(*workload)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown workload %q (try -list)\n", *workload)
+	var names []string
+	for _, n := range strings.Split(*workload, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "no workload given (try -list)")
 		os.Exit(1)
+	}
+	wls := make([]workloads.Workload, len(names))
+	for i, n := range names {
+		w, ok := workloads.ByName(n)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown workload %q (try -list)\n", n)
+			os.Exit(1)
+		}
+		wls[i] = w
 	}
 
 	var cfg config.Config
@@ -68,34 +92,89 @@ func main() {
 		os.Exit(1)
 	}
 
-	kern := w.Kernel.Scaled(*scale)
-	var opts []gpu.Option
-	if *loadstats {
-		opts = append(opts, gpu.WithLoadStats())
+	workers := *jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > len(wls) {
+		workers = len(wls)
+	}
+
+	type outcome struct {
+		res     gpu.Result
+		elapsed time.Duration
+		err     error
+	}
+	outs := make([]outcome, len(wls))
 	start := time.Now()
-	res, err := gpu.Simulate(cfg, kern, opts...)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, w := range wls {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			kern := w.Kernel.Scaled(*scale)
+			var opts []gpu.Option
+			if *loadstats {
+				opts = append(opts, gpu.WithLoadStats())
+			}
+			t0 := time.Now()
+			res, err := gpu.Simulate(cfg, kern, opts...)
+			outs[i] = outcome{res: res, elapsed: time.Since(t0), err: err}
+		}()
 	}
-	elapsed := time.Since(start)
+	wg.Wait()
+	totalWall := time.Since(start)
+
+	for i, o := range outs {
+		if o.err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", wls[i].Name(), o.err)
+			os.Exit(1)
+		}
+	}
 
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(struct {
+		type jsonResult struct {
 			Workload string
 			Category string
 			Result   gpu.Result
 			WallMS   int64
-		}{w.Name(), w.Category.String(), res, elapsed.Milliseconds()}); err != nil {
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if len(wls) == 1 {
+			if err := enc.Encode(jsonResult{wls[0].Name(), wls[0].Category.String(), outs[0].res, outs[0].elapsed.Milliseconds()}); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return
+		}
+		all := make([]jsonResult, len(wls))
+		for i, w := range wls {
+			all[i] = jsonResult{w.Name(), w.Category.String(), outs[i].res, outs[i].elapsed.Milliseconds()}
+		}
+		if err := enc.Encode(all); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		return
 	}
 
+	for i, w := range wls {
+		if i > 0 {
+			fmt.Println()
+		}
+		printResult(w, cfg, outs[i].res, outs[i].elapsed, *loadstats)
+	}
+	if len(wls) > 1 {
+		fmt.Fprintf(os.Stderr, "total wall time: %v (%d workloads, jobs %d)\n",
+			totalWall.Round(time.Millisecond), len(wls), workers)
+	}
+}
+
+func printResult(w workloads.Workload, cfg config.Config, res gpu.Result, elapsed time.Duration, loadstats bool) {
 	t := &res.Total
 	fmt.Printf("workload    %s (%s)\n", w.Name(), w.Category)
 	fmt.Printf("config      sched=%s pref=%s apres=%v sms=%d l1=%dKB\n",
@@ -121,7 +200,7 @@ func main() {
 		fmt.Println("WARNING: run stopped at MaxCycles before kernel completion")
 	}
 
-	if *loadstats && res.LoadStats != nil {
+	if loadstats && res.LoadStats != nil {
 		fmt.Println("\nper-load characterisation (SM 0):")
 		pcs := make([]int, 0, len(res.LoadStats))
 		for pc := range res.LoadStats {

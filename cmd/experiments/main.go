@@ -5,13 +5,19 @@
 //	experiments                 # run everything at full scale
 //	experiments -only fig10     # one experiment
 //	experiments -scale 0.25     # smaller workloads (quick look)
+//	experiments -jobs 8         # simulate up to 8 runs in parallel
 //	experiments > results.txt   # capture for EXPERIMENTS.md
+//
+// Results are byte-identical whatever -jobs is: parallelism only changes
+// how fast the suite runs (progress/timing goes to stderr, results to
+// stdout).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -25,6 +31,7 @@ func main() {
 		scale  = flag.Float64("scale", 1, "workload iteration scale")
 		sms    = flag.Int("sms", 0, "override SM count (0 = Table III's 15)")
 		format = flag.String("format", harness.FormatText, "figure output format: text|csv|md")
+		jobs   = flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -37,6 +44,7 @@ func main() {
 	sel := func(id string) bool { return len(want) == 0 || want[id] }
 
 	r := harness.NewRunner(*scale, *sms)
+	r.Jobs = *jobs
 	all := harness.AllApps()
 	memApps := harness.MemoryIntensiveApps()
 	start := time.Now()
@@ -81,14 +89,25 @@ func main() {
 		if !sel(e.id) {
 			continue
 		}
+		before := r.Stats()
+		t0 := time.Now()
 		out, err := e.run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
 			os.Exit(1)
 		}
+		d := r.Stats().Sub(before)
+		fmt.Fprintf(os.Stderr, "%-7s wall %-10v sims %-4d cache hits %-4d dedup waits %d\n",
+			e.id, time.Since(t0).Round(time.Millisecond), d.Simulations, d.CacheHits, d.DedupWaits)
 		fmt.Printf("== %s ==\n%s\n", e.id, out)
 	}
-	fmt.Fprintf(os.Stderr, "total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+	effJobs := *jobs
+	if effJobs <= 0 {
+		effJobs = runtime.GOMAXPROCS(0)
+	}
+	total := r.Stats()
+	fmt.Fprintf(os.Stderr, "total wall time: %v (jobs %d, %d sims, %d cache hits, %d dedup waits)\n",
+		time.Since(start).Round(time.Millisecond), effJobs, total.Simulations, total.CacheHits, total.DedupWaits)
 }
 
 type stringer struct{ s string }

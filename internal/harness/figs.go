@@ -25,27 +25,44 @@ func (r *Runner) speedup(app, cfgName string) (float64, error) {
 }
 
 func (r *Runner) seriesOf(name string, apps []string, f func(app string) (float64, error)) (Series, error) {
+	vals, err := mapConcurrent(r.workers(), apps, func(_ int, a string) (float64, error) {
+		return f(a)
+	})
+	if err != nil {
+		return Series{}, err
+	}
 	s := Series{Name: name, Values: make(map[string]float64, len(apps))}
-	for _, a := range apps {
-		v, err := f(a)
-		if err != nil {
-			return Series{}, err
-		}
-		s.Values[a] = v
+	for i, a := range apps {
+		s.Values[a] = vals[i]
 	}
 	return s, nil
+}
+
+// seriesSpec is one submitted series of a figure: a label plus the per-app
+// metric to evaluate.
+type seriesSpec struct {
+	name string
+	f    func(app string) (float64, error)
+}
+
+// chart evaluates every (series, app) cell of a figure concurrently across
+// the Runner's worker pool and collects the series in submission order, so
+// the rendered output is identical to the old sequential loops.
+func (r *Runner) chart(title string, apps []string, specs []seriesSpec) (*Chart, error) {
+	series, err := mapConcurrent(r.workers(), specs, func(_ int, sp seriesSpec) (Series, error) {
+		return r.seriesOf(sp.name, apps, sp.f)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Chart{Title: title, Apps: apps, Series: series}, nil
 }
 
 // Fig2 reproduces Figure 2: the L1 miss-rate breakdown into cold vs
 // capacity+conflict misses for the 32 KB baseline (B) and the hypothetical
 // 32 MB L1 (C), plus the speedup of C over B.
 func (r *Runner) Fig2(apps []string) (*Chart, error) {
-	c := &Chart{Title: "Figure 2: L1 miss breakdown, 32KB baseline (B) vs 32MB (C)", Apps: apps}
-	type spec struct {
-		name string
-		f    func(app string) (float64, error)
-	}
-	specs := []spec{
+	specs := []seriesSpec{
 		{"B cold", func(a string) (float64, error) {
 			res, err := r.Run(a, "base")
 			return res.Total.ColdMissRate(), err
@@ -66,14 +83,7 @@ func (r *Runner) Fig2(apps []string) (*Chart, error) {
 			return r.speedup(a, "l1-32mb")
 		}},
 	}
-	for _, sp := range specs {
-		s, err := r.seriesOf(sp.name, apps, sp.f)
-		if err != nil {
-			return nil, err
-		}
-		c.Series = append(c.Series, s)
-	}
-	return c, nil
+	return r.chart("Figure 2: L1 miss breakdown, 32KB baseline (B) vs 32MB (C)", apps, specs)
 }
 
 // Fig3Combos lists the scheduler x prefetcher combinations of Figure 3.
@@ -85,36 +95,28 @@ var Fig3Combos = []string{
 // Fig3 reproduces Figure 3: speedup of existing warp schedulers combined
 // with the STR and SLD prefetchers, normalised to the LRR baseline.
 func (r *Runner) Fig3(apps []string) (*Chart, error) {
-	c := &Chart{Title: "Figure 3: scheduling x prefetching speedup over baseline", Apps: apps}
+	var specs []seriesSpec
 	for _, combo := range Fig3Combos {
 		combo := combo
-		s, err := r.seriesOf(combo, apps, func(a string) (float64, error) {
+		specs = append(specs, seriesSpec{combo, func(a string) (float64, error) {
 			return r.speedup(a, combo)
-		})
-		if err != nil {
-			return nil, err
-		}
-		c.Series = append(c.Series, s)
+		}})
 	}
-	return c, nil
+	return r.chart("Figure 3: scheduling x prefetching speedup over baseline", apps, specs)
 }
 
 // Fig4 reproduces Figure 4: the early-eviction ratio of the STR prefetcher
 // under the four existing schedulers.
 func (r *Runner) Fig4(apps []string) (*Chart, error) {
-	c := &Chart{Title: "Figure 4: early eviction ratio of STR prefetching", Apps: apps}
+	var specs []seriesSpec
 	for _, sched := range []string{"pa", "gto", "mascar", "ccws"} {
 		combo := sched + "+str"
-		s, err := r.seriesOf(combo, apps, func(a string) (float64, error) {
+		specs = append(specs, seriesSpec{combo, func(a string) (float64, error) {
 			res, err := r.Run(a, combo)
 			return res.Total.EarlyEvictionRatio(), err
-		})
-		if err != nil {
-			return nil, err
-		}
-		c.Series = append(c.Series, s)
+		}})
 	}
-	return c, nil
+	return r.chart("Figure 4: early eviction ratio of STR prefetching", apps, specs)
 }
 
 // Fig10Configs lists the five techniques Figure 10 compares.
@@ -123,18 +125,14 @@ var Fig10Configs = []string{"ccws", "laws", "ccws+str", "laws+str", "apres"}
 // Fig10 reproduces Figure 10: IPC of CCWS, LAWS, CCWS+STR, LAWS+STR and
 // APRES normalised to the baseline.
 func (r *Runner) Fig10(apps []string) (*Chart, error) {
-	c := &Chart{Title: "Figure 10: speedup over baseline", Apps: apps}
+	var specs []seriesSpec
 	for _, cfg := range Fig10Configs {
 		cfg := cfg
-		s, err := r.seriesOf(cfg, apps, func(a string) (float64, error) {
+		specs = append(specs, seriesSpec{cfg, func(a string) (float64, error) {
 			return r.speedup(a, cfg)
-		})
-		if err != nil {
-			return nil, err
-		}
-		c.Series = append(c.Series, s)
+		}})
 	}
-	return c, nil
+	return r.chart("Figure 10: speedup over baseline", apps, specs)
 }
 
 // Fig11Configs maps Figure 11's column letters to configurations
@@ -147,36 +145,32 @@ var Fig11Configs = []struct{ Letter, Config string }{
 // hit-after-miss, cold miss, and capacity+conflict miss fractions under the
 // five configurations.
 func (r *Runner) Fig11(apps []string) (*Chart, error) {
-	c := &Chart{Title: "Figure 11: cache hit and miss breakdown (fractions of L1 accesses)", Apps: apps}
+	type comp struct {
+		name string
+		f    func(res gpu.Result) float64
+	}
+	comps := []comp{
+		{"hitH", func(res gpu.Result) float64 {
+			return frac(res.Total.L1HitAfterHit, res.Total.L1Accesses)
+		}},
+		{"hitM", func(res gpu.Result) float64 {
+			return frac(res.Total.L1HitAfterMiss, res.Total.L1Accesses)
+		}},
+		{"cold", func(res gpu.Result) float64 { return res.Total.ColdMissRate() }},
+		{"cap+c", func(res gpu.Result) float64 { return res.Total.CapConfMissRate() }},
+	}
+	var specs []seriesSpec
 	for _, fc := range Fig11Configs {
 		fc := fc
-		type comp struct {
-			name string
-			f    func(res gpu.Result) float64
-		}
-		comps := []comp{
-			{"hitH", func(res gpu.Result) float64 {
-				return frac(res.Total.L1HitAfterHit, res.Total.L1Accesses)
-			}},
-			{"hitM", func(res gpu.Result) float64 {
-				return frac(res.Total.L1HitAfterMiss, res.Total.L1Accesses)
-			}},
-			{"cold", func(res gpu.Result) float64 { return res.Total.ColdMissRate() }},
-			{"cap+c", func(res gpu.Result) float64 { return res.Total.CapConfMissRate() }},
-		}
 		for _, cm := range comps {
 			cm := cm
-			s, err := r.seriesOf(fc.Letter+" "+cm.name, apps, func(a string) (float64, error) {
+			specs = append(specs, seriesSpec{fc.Letter + " " + cm.name, func(a string) (float64, error) {
 				res, err := r.Run(a, fc.Config)
 				return cm.f(res), err
-			})
-			if err != nil {
-				return nil, err
-			}
-			c.Series = append(c.Series, s)
+			}})
 		}
 	}
-	return c, nil
+	return r.chart("Figure 11: cache hit and miss breakdown (fractions of L1 accesses)", apps, specs)
 }
 
 func frac(n, d int64) float64 {
@@ -188,28 +182,24 @@ func frac(n, d int64) float64 {
 
 // Fig12 reproduces Figure 12: early eviction ratio of CCWS+STR vs APRES.
 func (r *Runner) Fig12(apps []string) (*Chart, error) {
-	c := &Chart{Title: "Figure 12: early eviction ratio, CCWS+STR vs APRES", Apps: apps}
+	var specs []seriesSpec
 	for _, cfg := range []string{"ccws+str", "apres"} {
 		cfg := cfg
-		s, err := r.seriesOf(cfg, apps, func(a string) (float64, error) {
+		specs = append(specs, seriesSpec{cfg, func(a string) (float64, error) {
 			res, err := r.Run(a, cfg)
 			return res.Total.EarlyEvictionRatio(), err
-		})
-		if err != nil {
-			return nil, err
-		}
-		c.Series = append(c.Series, s)
+		}})
 	}
-	return c, nil
+	return r.chart("Figure 12: early eviction ratio, CCWS+STR vs APRES", apps, specs)
 }
 
 // Fig13 reproduces Figure 13: average memory latency of CCWS+STR and APRES
 // normalised to the baseline.
 func (r *Runner) Fig13(apps []string) (*Chart, error) {
-	c := &Chart{Title: "Figure 13: average memory latency normalised to baseline", Apps: apps}
+	var specs []seriesSpec
 	for _, cfg := range []string{"ccws+str", "apres"} {
 		cfg := cfg
-		s, err := r.seriesOf(cfg, apps, func(a string) (float64, error) {
+		specs = append(specs, seriesSpec{cfg, func(a string) (float64, error) {
 			base, err := r.Run(a, "base")
 			if err != nil {
 				return 0, err
@@ -223,22 +213,18 @@ func (r *Runner) Fig13(apps []string) (*Chart, error) {
 				return 0, nil
 			}
 			return res.Total.AvgMemLatency() / bl, nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		c.Series = append(c.Series, s)
+		}})
 	}
-	return c, nil
+	return r.chart("Figure 13: average memory latency normalised to baseline", apps, specs)
 }
 
 // Fig14 reproduces Figure 14: memory-to-SM data traffic of CCWS+STR and
 // APRES normalised to the baseline.
 func (r *Runner) Fig14(apps []string) (*Chart, error) {
-	c := &Chart{Title: "Figure 14: data traffic normalised to baseline", Apps: apps}
+	var specs []seriesSpec
 	for _, cfg := range []string{"ccws+str", "apres"} {
 		cfg := cfg
-		s, err := r.seriesOf(cfg, apps, func(a string) (float64, error) {
+		specs = append(specs, seriesSpec{cfg, func(a string) (float64, error) {
 			base, err := r.Run(a, "base")
 			if err != nil {
 				return 0, err
@@ -251,23 +237,19 @@ func (r *Runner) Fig14(apps []string) (*Chart, error) {
 				return 0, nil
 			}
 			return float64(res.Total.BytesToSM) / float64(base.Total.BytesToSM), nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		c.Series = append(c.Series, s)
+		}})
 	}
-	return c, nil
+	return r.chart("Figure 14: data traffic normalised to baseline", apps, specs)
 }
 
 // Fig15 reproduces Figure 15: dynamic energy of CCWS+STR and APRES
 // normalised to the baseline, under the event-energy model.
 func (r *Runner) Fig15(apps []string) (*Chart, error) {
-	c := &Chart{Title: "Figure 15: dynamic energy normalised to baseline", Apps: apps}
 	model := energy.Default()
+	var specs []seriesSpec
 	for _, cfg := range []string{"ccws+str", "apres"} {
 		cfg := cfg
-		s, err := r.seriesOf(cfg, apps, func(a string) (float64, error) {
+		specs = append(specs, seriesSpec{cfg, func(a string) (float64, error) {
 			base, err := r.Run(a, "base")
 			if err != nil {
 				return 0, err
@@ -281,11 +263,7 @@ func (r *Runner) Fig15(apps []string) (*Chart, error) {
 				return 0, nil
 			}
 			return model.Estimate(&res.Total).Dynamic() / be, nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		c.Series = append(c.Series, s)
+		}})
 	}
-	return c, nil
+	return r.chart("Figure 15: dynamic energy normalised to baseline", apps, specs)
 }

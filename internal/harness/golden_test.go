@@ -1,0 +1,105 @@
+package harness
+
+// Golden-regression test: the simulator is fully deterministic, so exact
+// cycle counts, instruction counts, and L1 hit rates for a small fixed
+// (workload, config) matrix are pinned against committed values. Any model
+// change — intentional or not — that moves a number fails loudly here
+// instead of drifting silently.
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false,
+	"re-bless internal/harness/testdata/golden.json with the current simulator's outputs")
+
+const (
+	goldenScale = 0.05
+	goldenSMs   = 2
+	goldenFile  = "testdata/golden.json"
+)
+
+var (
+	goldenApps    = []string{"BFS", "KM", "SP"}
+	goldenConfigs = []string{"base", "gto", "laws", "apres"}
+)
+
+// goldenEntry pins one (workload, config) cell.
+type goldenEntry struct {
+	App          string
+	Config       string
+	Cycles       int64
+	Instructions int64
+	L1HitRate    float64
+}
+
+func currentGolden(t *testing.T) []goldenEntry {
+	t.Helper()
+	r := NewRunner(goldenScale, goldenSMs)
+	r.Jobs = 8 // regression values must not depend on the pool width
+	var out []goldenEntry
+	for _, app := range goldenApps {
+		for _, cfg := range goldenConfigs {
+			res, err := r.Run(app, cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", app, cfg, err)
+			}
+			out = append(out, goldenEntry{
+				App:          app,
+				Config:       cfg,
+				Cycles:       res.Cycles,
+				Instructions: res.Total.Instructions,
+				L1HitRate:    res.Total.L1HitRate(),
+			})
+		}
+	}
+	return out
+}
+
+func TestGoldenRegression(t *testing.T) {
+	got := currentGolden(t)
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenFile), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenFile, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("re-blessed %s with %d entries", goldenFile, len(got))
+		return
+	}
+
+	data, err := os.ReadFile(goldenFile)
+	if err != nil {
+		t.Fatalf("missing golden file: %v\nGenerate it with:\n  go test ./internal/harness -run TestGoldenRegression -update-golden", err)
+	}
+	var want []goldenEntry
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("corrupt golden file %s: %v", goldenFile, err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("golden file has %d entries, test matrix has %d: the matrix changed; re-bless with -update-golden", len(want), len(got))
+	}
+	for i, w := range want {
+		g := got[i]
+		if g != w {
+			t.Errorf("golden mismatch for %s/%s (scale=%v, sms=%d):\n  got  cycles=%d insts=%d l1hit=%v\n  want cycles=%d insts=%d l1hit=%v\n"+
+				"The simulator's exact outputs moved. If this is UNINTENDED, you introduced model drift — fix it.\n"+
+				"If the model change is intentional, re-bless the expected values with:\n"+
+				"  go test ./internal/harness -run TestGoldenRegression -update-golden\n"+
+				"and explain the numeric drift in the commit message.",
+				w.App, w.Config, goldenScale, goldenSMs,
+				g.Cycles, g.Instructions, g.L1HitRate,
+				w.Cycles, w.Instructions, w.L1HitRate)
+		}
+	}
+}

@@ -7,6 +7,7 @@ package harness
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"apres/internal/config"
 	"apres/internal/gpu"
@@ -69,7 +70,10 @@ type runKey struct {
 	loadStats bool
 }
 
-// Runner executes and caches simulation runs.
+// Runner executes and caches simulation runs. All methods are safe for
+// concurrent use: independent runs execute in parallel across a worker
+// pool of Jobs goroutines, identical concurrent requests are deduplicated
+// to a single simulation, and completed results are memoised.
 type Runner struct {
 	// Scale multiplies workload iteration counts (tests use small
 	// scales; 1.0 reproduces the full-size runs).
@@ -77,10 +81,18 @@ type Runner struct {
 	// SMs overrides the SM count when nonzero.
 	SMs int
 	// Adjust, when non-nil, post-processes every configuration (used by
-	// ablation benches to tweak APRES structure sizes).
+	// ablation benches to tweak APRES structure sizes). It may run from
+	// several workers at once, so it must not keep state across calls.
 	Adjust func(*config.Config)
+	// Jobs bounds how many simulations execute concurrently (the worker
+	// pool size); 0 means GOMAXPROCS. Set it before the first run.
+	Jobs int
 
-	cache map[runKey]gpu.Result
+	mu       sync.Mutex
+	cache    map[runKey]gpu.Result
+	inflight map[runKey]*inflightRun
+	sem      chan struct{}
+	stats    RunStats
 }
 
 // NewRunner returns a Runner at the given workload scale (1.0 = full size).
@@ -88,7 +100,12 @@ func NewRunner(scale float64, sms int) *Runner {
 	if scale <= 0 {
 		scale = 1
 	}
-	return &Runner{Scale: scale, SMs: sms, cache: make(map[runKey]gpu.Result)}
+	return &Runner{
+		Scale:    scale,
+		SMs:      sms,
+		cache:    make(map[runKey]gpu.Result),
+		inflight: make(map[runKey]*inflightRun),
+	}
 }
 
 // Run simulates workload app under the named configuration, memoising the
@@ -104,9 +121,44 @@ func (r *Runner) RunWithLoadStats(app, cfgName string) (gpu.Result, error) {
 
 func (r *Runner) run(app, cfgName string, loadStats bool) (gpu.Result, error) {
 	k := runKey{app: app, cfg: cfgName, loadStats: loadStats}
+	r.mu.Lock()
 	if res, ok := r.cache[k]; ok {
+		r.stats.CacheHits++
+		r.mu.Unlock()
 		return res, nil
 	}
+	if fl, ok := r.inflight[k]; ok {
+		// Someone is already simulating this exact run: wait for it
+		// instead of simulating twice.
+		r.stats.DedupWaits++
+		r.mu.Unlock()
+		<-fl.done
+		return fl.res, fl.err
+	}
+	if r.inflight == nil {
+		r.inflight = make(map[runKey]*inflightRun)
+	}
+	fl := &inflightRun{done: make(chan struct{})}
+	r.inflight[k] = fl
+	r.mu.Unlock()
+
+	fl.res, fl.err = r.runOnce(app, cfgName, loadStats)
+
+	r.mu.Lock()
+	if fl.err == nil {
+		if r.cache == nil {
+			r.cache = make(map[runKey]gpu.Result)
+		}
+		r.cache[k] = fl.res
+	}
+	delete(r.inflight, k)
+	r.mu.Unlock()
+	close(fl.done)
+	return fl.res, fl.err
+}
+
+// runOnce performs the actual simulation of one (workload, config) pair.
+func (r *Runner) runOnce(app, cfgName string, loadStats bool) (gpu.Result, error) {
 	w, ok := workloads.ByName(app)
 	if !ok {
 		return gpu.Result{}, fmt.Errorf("harness: unknown workload %q", app)
@@ -132,11 +184,10 @@ func (r *Runner) run(app, cfgName string, loadStats bool) (gpu.Result, error) {
 	if loadStats {
 		opts = append(opts, gpu.WithLoadStats())
 	}
-	res, err := gpu.Simulate(cfg, kern, opts...)
+	res, err := r.simulate(cfg, kern, opts...)
 	if err != nil {
 		return gpu.Result{}, fmt.Errorf("harness: %s/%s: %w", app, cfgName, err)
 	}
-	r.cache[k] = res
 	return res, nil
 }
 

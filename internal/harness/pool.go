@@ -1,0 +1,134 @@
+// Worker-pool execution layer: bounds how many simulations run at once and
+// fans independent (workload, configuration) cells out across GOMAXPROCS
+// workers. All collection helpers assemble results in input order, so every
+// table and figure renders byte-identically no matter how runs interleave.
+package harness
+
+import (
+	"runtime"
+	"sync"
+
+	"apres/internal/config"
+	"apres/internal/gpu"
+	"apres/internal/kernel"
+)
+
+// RunStats counts what a Runner's cache and worker pool did. Deltas between
+// snapshots give per-experiment figures (cmd/experiments reports them).
+type RunStats struct {
+	// Simulations is the number of simulations actually executed.
+	Simulations int64
+	// CacheHits is the number of Run calls answered from the result cache.
+	CacheHits int64
+	// DedupWaits is the number of Run calls that joined an identical
+	// in-flight run instead of simulating it a second time.
+	DedupWaits int64
+}
+
+// Sub returns s minus o, for per-experiment deltas.
+func (s RunStats) Sub(o RunStats) RunStats {
+	return RunStats{
+		Simulations: s.Simulations - o.Simulations,
+		CacheHits:   s.CacheHits - o.CacheHits,
+		DedupWaits:  s.DedupWaits - o.DedupWaits,
+	}
+}
+
+// Stats returns a snapshot of the Runner's cache and pool counters.
+func (r *Runner) Stats() RunStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// workers returns the pool size: Jobs, or GOMAXPROCS when Jobs is 0.
+func (r *Runner) workers() int {
+	if r.Jobs > 0 {
+		return r.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// inflightRun tracks one simulation in progress so identical concurrent
+// requests simulate once and share the result (singleflight).
+type inflightRun struct {
+	done chan struct{}
+	res  gpu.Result
+	err  error
+}
+
+// acquireSlot blocks until a simulation slot is free and returns its
+// release function. The semaphore is sized on first use, so Jobs must be
+// set before the Runner's first run.
+func (r *Runner) acquireSlot() func() {
+	r.mu.Lock()
+	if r.sem == nil {
+		r.sem = make(chan struct{}, r.workers())
+	}
+	sem := r.sem
+	r.mu.Unlock()
+	sem <- struct{}{}
+	return func() { <-sem }
+}
+
+// simulate executes one simulation under the pool's concurrency bound.
+// Every simulation the Runner performs — cached runs and sweep points
+// alike — funnels through here, so nested fan-outs (figure over series
+// over apps) never oversubscribe the machine.
+func (r *Runner) simulate(cfg config.Config, kern kernel.Kernel, opts ...gpu.Option) (gpu.Result, error) {
+	release := r.acquireSlot()
+	defer release()
+	r.mu.Lock()
+	r.stats.Simulations++
+	r.mu.Unlock()
+	return gpu.Simulate(cfg, kern, opts...)
+}
+
+// mapConcurrent applies f to every item using at most workers goroutines
+// and returns the results in input order. When any calls fail, the error
+// of the lowest-index failure is returned, so error behaviour is as
+// deterministic as success output. With one worker it degenerates to the
+// plain serial loop (and stops at the first error, like the old code).
+func mapConcurrent[T, R any](workers int, items []T, f func(i int, item T) (R, error)) ([]R, error) {
+	n := len(items)
+	if n == 0 {
+		return nil, nil
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]R, n)
+	if workers <= 1 {
+		for i, item := range items {
+			v, err := f(i, item)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i], errs[i] = f(i, items[i])
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -62,21 +62,24 @@ func (r *Runner) sweep(title, app, cfgName string, points []int, label func(int)
 	if r.Scale != 1 {
 		kern = kern.Scaled(r.Scale)
 	}
-	out := &Sweep{Title: title, App: app, Config: cfgName}
-	var first gpu.Result
-	for i, v := range points {
+	// All points are independent: simulate them concurrently across the
+	// worker pool and collect in parameter order. Speedups normalise to
+	// the first point, so they are computed after collection.
+	results, err := mapConcurrent(r.workers(), points, func(_ int, v int) (gpu.Result, error) {
 		cfg := base
 		apply(&cfg, v)
 		if err := cfg.Validate(); err != nil {
-			return nil, fmt.Errorf("harness: sweep point %d: %w", v, err)
+			return gpu.Result{}, fmt.Errorf("harness: sweep point %d: %w", v, err)
 		}
-		res, err := gpu.Simulate(cfg, kern)
-		if err != nil {
-			return nil, err
-		}
-		if i == 0 {
-			first = res
-		}
+		return r.simulate(cfg, kern)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Sweep{Title: title, App: app, Config: cfgName}
+	first := results[0]
+	for i, v := range points {
+		res := results[i]
 		out.Points = append(out.Points, SweepPoint{
 			Label:         label(v),
 			Value:         v,

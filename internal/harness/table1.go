@@ -23,8 +23,9 @@ type LoadRow struct {
 // TableI characterises the static loads of the given apps under the
 // baseline configuration, like the paper's Table I.
 func (r *Runner) TableI(apps []string) ([]LoadRow, error) {
-	var rows []LoadRow
-	for _, app := range apps {
+	// Characterise each app concurrently, then flatten in app order so the
+	// table reads identically however the runs interleave.
+	perApp, err := mapConcurrent(r.workers(), apps, func(_ int, app string) ([]LoadRow, error) {
 		res, err := r.RunWithLoadStats(app, "base")
 		if err != nil {
 			return nil, err
@@ -42,6 +43,7 @@ func (r *Runner) TableI(apps []string) ([]LoadRow, error) {
 			}
 			return stats[i].PC < stats[j].PC
 		})
+		var rows []LoadRow
 		for _, ls := range stats {
 			stride, share := ls.DominantStride()
 			rows = append(rows, LoadRow{
@@ -54,6 +56,14 @@ func (r *Runner) TableI(apps []string) ([]LoadRow, error) {
 				PctStride: share,
 			})
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []LoadRow
+	for _, app := range perApp {
+		rows = append(rows, app...)
 	}
 	return rows, nil
 }
