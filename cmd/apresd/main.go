@@ -1,0 +1,88 @@
+// Command apresd is the APRES simulation daemon: a long-running HTTP
+// service that runs GPU simulations on demand, deduplicates identical
+// in-flight requests, bounds concurrency with a worker pool, and persists
+// every result in a content-addressed on-disk store so repeated requests —
+// across process restarts and across the CLI tools — never simulate twice.
+//
+// Usage:
+//
+//	apresd                            # listen on :7845, store under the user cache dir
+//	apresd -addr :9000 -jobs 8        # custom port, at most 8 concurrent sims
+//	apresd -store /var/lib/apres      # custom store location
+//	apresd -timeout 5m -drain 1m      # per-request sim budget, SIGTERM drain budget
+//
+// Endpoints: POST /v1/simulate, POST /v1/sweep, GET /v1/results/{key},
+// GET /healthz, GET /metrics (Prometheus text format). See README.md for
+// request examples. SIGTERM/SIGINT drain in-flight requests before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"apres/internal/harness"
+	"apres/internal/resultstore"
+	"apres/internal/server"
+	"apres/internal/version"
+)
+
+// defaultStoreDir places the result store under the OS user cache
+// directory, falling back to the working directory when none exists (e.g.
+// bare containers without HOME).
+func defaultStoreDir() string {
+	if dir, err := os.UserCacheDir(); err == nil {
+		return filepath.Join(dir, "apres", "resultstore")
+	}
+	return ".apres-store"
+}
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":7845", "listen address")
+		store   = flag.String("store", defaultStoreDir(), "result-store directory (empty = no persistence)")
+		memLRU  = flag.Int("store-mem", 512, "in-memory result-store front size in entries")
+		scale   = flag.Float64("scale", 1, "workload iteration scale factor")
+		sms     = flag.Int("sms", 0, "override number of SMs (0 = Table III value)")
+		jobs    = flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		timeout = flag.Duration("timeout", 10*time.Minute, "per-request simulation budget (0 = unbounded)")
+		drain   = flag.Duration("drain", 30*time.Second, "how long SIGTERM waits for in-flight requests")
+		showVer = flag.Bool("version", false, "print the simulator version stamp and exit")
+	)
+	flag.Parse()
+
+	if *showVer {
+		fmt.Println(version.Stamp())
+		return
+	}
+
+	r := harness.NewRunner(*scale, *sms)
+	r.Jobs = *jobs
+	if *store != "" {
+		st, err := resultstore.Open(*store, *memLRU)
+		if err != nil {
+			log.Fatalf("apresd: %v", err)
+		}
+		r.Store = st
+		log.Printf("apresd: result store at %s", st.Dir())
+	} else {
+		log.Printf("apresd: running without a persistent result store")
+	}
+
+	srv := server.New(server.Options{Runner: r, SimTimeout: *timeout})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("apresd %s listening on %s (scale=%g sms=%d jobs=%d timeout=%v)",
+		version.Stamp(), *addr, *scale, *sms, *jobs, *timeout)
+	if err := srv.ListenAndServe(ctx, *addr, *drain); err != nil {
+		log.Fatalf("apresd: %v", err)
+	}
+	log.Printf("apresd: drained, bye")
+}

@@ -5,19 +5,27 @@
 //
 //	apressim -workload KM -scheduler laws -prefetcher sap -apres
 //	apressim -workload BFS -scheduler ccws -prefetcher str -loadstats
-//	apressim -workload BFS,KM,SP -jobs 4   # fan out over a worker pool
+//	apressim -workload BFS,KM,SP -jobs 4     # fan out over a worker pool
+//	apressim -workload BFS -store ~/.cache/apres/resultstore
+//	apressim -workload BFS -server http://localhost:7845
 //
 // With a comma-separated workload list the runs execute concurrently
 // (bounded by -jobs) and print in the order given, so output stays
-// deterministic.
+// deterministic. With -store, results persist in a content-addressed
+// on-disk cache shared with apresd, so repeated invocations are served
+// warm. With -server, simulations are delegated to a running apresd
+// daemon instead of executing locally.
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -27,6 +35,10 @@ import (
 	"apres/internal/config"
 	"apres/internal/energy"
 	"apres/internal/gpu"
+	"apres/internal/harness"
+	"apres/internal/resultstore"
+	"apres/internal/server"
+	"apres/internal/version"
 	"apres/internal/workloads"
 )
 
@@ -43,9 +55,16 @@ func main() {
 		loadstats = flag.Bool("loadstats", false, "collect per-PC load characterisation (Table I)")
 		asJSON    = flag.Bool("json", false, "emit the full result as JSON instead of text")
 		list      = flag.Bool("list", false, "list workloads and exit")
+		storeDir  = flag.String("store", "", "persistent result-store directory shared with apresd (empty = off)")
+		serverURL = flag.String("server", "", "delegate simulations to a running apresd at this base URL")
+		showVer   = flag.Bool("version", false, "print the simulator version stamp and exit")
 	)
 	flag.Parse()
 
+	if *showVer {
+		fmt.Println(version.Stamp())
+		return
+	}
 	if *list {
 		for _, w := range workloads.All() {
 			fmt.Printf("%-6s %-18s %s\n", w.Name(), w.Category, w.Description)
@@ -92,38 +111,42 @@ func main() {
 		os.Exit(1)
 	}
 
-	workers := *jobs
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(wls) {
-		workers = len(wls)
+	// Local runs go through a harness.Runner: identical workloads in the
+	// list simulate once, concurrency is bounded by -jobs, and -store
+	// shares warm results with apresd and future invocations.
+	runner := harness.NewRunner(*scale, 0)
+	runner.Jobs = *jobs
+	if *storeDir != "" && *serverURL == "" {
+		st, err := resultstore.Open(*storeDir, 64)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runner.Store = st
 	}
 
 	type outcome struct {
 		res     gpu.Result
 		elapsed time.Duration
+		cached  bool
 		err     error
 	}
 	outs := make([]outcome, len(wls))
 	start := time.Now()
-	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for i, w := range wls {
 		wg.Add(1)
-		go func() {
+		go func(i int, w workloads.Workload) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			kern := w.Kernel.Scaled(*scale)
-			var opts []gpu.Option
-			if *loadstats {
-				opts = append(opts, gpu.WithLoadStats())
-			}
 			t0 := time.Now()
-			res, err := gpu.Simulate(cfg, kern, opts...)
+			if *serverURL != "" {
+				res, cached, err := remoteSimulate(*serverURL, w.Name(), cfg, *loadstats)
+				outs[i] = outcome{res: res, elapsed: time.Since(t0), cached: cached, err: err}
+				return
+			}
+			res, err := runner.RunConfig(context.Background(), w.Name(), cfg, *loadstats)
 			outs[i] = outcome{res: res, elapsed: time.Since(t0), err: err}
-		}()
+		}(i, w)
 	}
 	wg.Wait()
 	totalWall := time.Since(start)
@@ -167,11 +190,50 @@ func main() {
 			fmt.Println()
 		}
 		printResult(w, cfg, outs[i].res, outs[i].elapsed, *loadstats)
+		if outs[i].cached {
+			fmt.Println("served from the daemon's warm cache")
+		}
 	}
 	if len(wls) > 1 {
-		fmt.Fprintf(os.Stderr, "total wall time: %v (%d workloads, jobs %d)\n",
-			totalWall.Round(time.Millisecond), len(wls), workers)
+		fmt.Fprintf(os.Stderr, "total wall time: %v (%d workloads)\n",
+			totalWall.Round(time.Millisecond), len(wls))
 	}
+}
+
+// remoteSimulate delegates one run to an apresd daemon via POST
+// /v1/simulate with the full configuration inline.
+func remoteSimulate(base, app string, cfg config.Config, loadStats bool) (gpu.Result, bool, error) {
+	body, err := json.Marshal(server.SimulateRequest{
+		Workload:     app,
+		ConfigInline: &cfg,
+		LoadStats:    loadStats,
+	})
+	if err != nil {
+		return gpu.Result{}, false, err
+	}
+	resp, err := http.Post(strings.TrimRight(base, "/")+"/v1/simulate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return gpu.Result{}, false, fmt.Errorf("apresd at %s: %w", base, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return gpu.Result{}, false, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return gpu.Result{}, false, fmt.Errorf("apresd: %s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		return gpu.Result{}, false, fmt.Errorf("apresd: HTTP %d", resp.StatusCode)
+	}
+	var out server.SimulateResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		return gpu.Result{}, false, fmt.Errorf("apresd: bad response: %w", err)
+	}
+	return out.Result, out.Cached, nil
 }
 
 func printResult(w workloads.Workload, cfg config.Config, res gpu.Result, elapsed time.Duration, loadstats bool) {

@@ -18,16 +18,23 @@ import (
 	"time"
 
 	"apres/internal/harness"
+	"apres/internal/version"
 )
 
 func main() {
 	var (
-		apps  = flag.String("apps", "", "comma-separated benchmark subset (default: memory-intensive set)")
-		all   = flag.Bool("all", false, "characterise all 15 benchmarks")
-		scale = flag.Float64("scale", 1, "workload iteration scale")
-		sms   = flag.Int("sms", 0, "override SM count")
+		apps    = flag.String("apps", "", "comma-separated benchmark subset (default: memory-intensive set)")
+		all     = flag.Bool("all", false, "characterise all 15 benchmarks")
+		scale   = flag.Float64("scale", 1, "workload iteration scale")
+		sms     = flag.Int("sms", 0, "override SM count")
+		showVer = flag.Bool("version", false, "print the simulator version stamp and exit")
 	)
 	flag.Parse()
+
+	if *showVer {
+		fmt.Println(version.Stamp())
+		return
+	}
 
 	var list []string
 	switch {

@@ -23,28 +23,67 @@ import (
 
 	"apres/internal/config"
 	"apres/internal/harness"
+	"apres/internal/resultstore"
+	"apres/internal/version"
 )
+
+// experimentIDs lists every experiment in output order; -only values are
+// validated against it so a typo fails fast instead of silently selecting
+// nothing.
+var experimentIDs = []string{"table1", "table2", "fig2", "fig3", "fig4",
+	"fig10", "fig11", "fig12", "fig13", "fig14", "fig15"}
 
 func main() {
 	var (
-		only   = flag.String("only", "", "comma-separated experiment ids (table1,table2,fig2,fig3,fig4,fig10,fig11,fig12,fig13,fig14,fig15); empty = all")
-		scale  = flag.Float64("scale", 1, "workload iteration scale")
-		sms    = flag.Int("sms", 0, "override SM count (0 = Table III's 15)")
-		format = flag.String("format", harness.FormatText, "figure output format: text|csv|md")
-		jobs   = flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		only     = flag.String("only", "", "comma-separated experiment ids ("+strings.Join(experimentIDs, ",")+"); empty = all")
+		scale    = flag.Float64("scale", 1, "workload iteration scale")
+		sms      = flag.Int("sms", 0, "override SM count (0 = Table III's 15)")
+		format   = flag.String("format", harness.FormatText, "figure output format: text|csv|md")
+		jobs     = flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		storeDir = flag.String("store", "", "persistent result-store directory shared with apresd (empty = off)")
+		showVer  = flag.Bool("version", false, "print the simulator version stamp and exit")
 	)
 	flag.Parse()
 
+	if *showVer {
+		fmt.Println(version.Stamp())
+		return
+	}
+
+	known := map[string]bool{}
+	for _, id := range experimentIDs {
+		known[id] = true
+	}
 	want := map[string]bool{}
 	if *only != "" {
 		for _, id := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(id)] = true
+			id = strings.TrimSpace(id)
+			if !known[id] {
+				fmt.Fprintf(os.Stderr, "unknown experiment id %q (known: %s)\n", id, strings.Join(experimentIDs, ","))
+				os.Exit(1)
+			}
+			want[id] = true
 		}
 	}
 	sel := func(id string) bool { return len(want) == 0 || want[id] }
 
+	switch *format {
+	case harness.FormatText, harness.FormatCSV, harness.FormatMarkdown:
+	default:
+		fmt.Fprintf(os.Stderr, "unknown format %q (want text|csv|md)\n", *format)
+		os.Exit(1)
+	}
+
 	r := harness.NewRunner(*scale, *sms)
 	r.Jobs = *jobs
+	if *storeDir != "" {
+		st, err := resultstore.Open(*storeDir, 256)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		r.Store = st
+	}
 	all := harness.AllApps()
 	memApps := harness.MemoryIntensiveApps()
 	start := time.Now()
@@ -97,8 +136,8 @@ func main() {
 			os.Exit(1)
 		}
 		d := r.Stats().Sub(before)
-		fmt.Fprintf(os.Stderr, "%-7s wall %-10v sims %-4d cache hits %-4d dedup waits %d\n",
-			e.id, time.Since(t0).Round(time.Millisecond), d.Simulations, d.CacheHits, d.DedupWaits)
+		fmt.Fprintf(os.Stderr, "%-7s wall %-10v sims %-4d cache hits %-4d dedup waits %-4d store hits %d\n",
+			e.id, time.Since(t0).Round(time.Millisecond), d.Simulations, d.CacheHits, d.DedupWaits, d.StoreHits)
 		fmt.Printf("== %s ==\n%s\n", e.id, out)
 	}
 	effJobs := *jobs
@@ -106,8 +145,8 @@ func main() {
 		effJobs = runtime.GOMAXPROCS(0)
 	}
 	total := r.Stats()
-	fmt.Fprintf(os.Stderr, "total wall time: %v (jobs %d, %d sims, %d cache hits, %d dedup waits)\n",
-		time.Since(start).Round(time.Millisecond), effJobs, total.Simulations, total.CacheHits, total.DedupWaits)
+	fmt.Fprintf(os.Stderr, "total wall time: %v (jobs %d, %d sims, %d cache hits, %d dedup waits, %d store hits)\n",
+		time.Since(start).Round(time.Millisecond), effJobs, total.Simulations, total.CacheHits, total.DedupWaits, total.StoreHits)
 }
 
 type stringer struct{ s string }

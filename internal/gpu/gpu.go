@@ -5,6 +5,7 @@
 package gpu
 
 import (
+	"context"
 	"fmt"
 
 	"apres/internal/arch"
@@ -121,16 +122,38 @@ func New(cfg config.Config, kern kernel.Kernel, opts ...Option) (*GPU, error) {
 // Run executes the simulation to kernel completion (or MaxCycles) and
 // returns the result.
 func (g *GPU) Run(kernName string) Result {
+	res, _ := g.RunContext(context.Background(), kernName)
+	return res
+}
+
+// ctxCheckInterval is how often (in cycles) RunContext polls its context.
+// Checking every cycle would dominate the simulation's own work; every 4k
+// cycles bounds cancellation latency to microseconds of wall time.
+const ctxCheckInterval = 4096
+
+// RunContext is Run with cooperative cancellation: the simulation loop
+// polls ctx every few thousand cycles and abandons the run — returning
+// ctx's error and a zero Result — when it is cancelled. This is how the
+// daemon enforces per-request timeouts on long simulations.
+func (g *GPU) RunContext(ctx context.Context, kernName string) (Result, error) {
 	maxCycles := g.cfg.MaxCycles
 	if maxCycles <= 0 {
 		maxCycles = 1 << 62
 	}
+	done := ctx.Done()
 	var cycle int64
 	hitMax := false
 	for ; ; cycle++ {
 		if cycle >= maxCycles {
 			hitMax = true
 			break
+		}
+		if done != nil && cycle%ctxCheckInterval == 0 {
+			select {
+			case <-done:
+				return Result{}, fmt.Errorf("gpu: %s cancelled at cycle %d: %w", kernName, cycle, ctx.Err())
+			default:
+			}
 		}
 		for _, r := range g.memSys.Tick(cycle) {
 			g.net.Enqueue(r)
@@ -175,15 +198,21 @@ func (g *GPU) Run(kernName string) Result {
 		res.LoadStats = g.sms[0].LoadStats()
 	}
 	res.Timeline = g.timeline
-	return res
+	return res, nil
 }
 
 // Simulate is the one-call convenience API: build a GPU for cfg and kern,
 // run it, and return the result.
 func Simulate(cfg config.Config, kern kernel.Kernel, opts ...Option) (Result, error) {
+	return SimulateContext(context.Background(), cfg, kern, opts...)
+}
+
+// SimulateContext is Simulate with cooperative cancellation (see
+// RunContext).
+func SimulateContext(ctx context.Context, cfg config.Config, kern kernel.Kernel, opts ...Option) (Result, error) {
 	g, err := New(cfg, kern, opts...)
 	if err != nil {
 		return Result{}, err
 	}
-	return g.Run(kern.Name), nil
+	return g.RunContext(ctx, kern.Name)
 }

@@ -5,12 +5,15 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
 
 	"apres/internal/config"
 	"apres/internal/gpu"
+	"apres/internal/resultstore"
+	"apres/internal/version"
 	"apres/internal/workloads"
 )
 
@@ -62,6 +65,9 @@ func NamedConfig(name string) (config.Config, error) {
 	} else if len(parts) > 2 {
 		return config.Config{}, fmt.Errorf("harness: malformed config %q", name)
 	}
+	if err := c.Validate(); err != nil {
+		return config.Config{}, fmt.Errorf("harness: config %q: %w", name, err)
+	}
 	return c, nil
 }
 
@@ -87,6 +93,12 @@ type Runner struct {
 	// Jobs bounds how many simulations execute concurrently (the worker
 	// pool size); 0 means GOMAXPROCS. Set it before the first run.
 	Jobs int
+	// Store, when non-nil, persists results on disk keyed by a content
+	// hash of the exact run (workload, scale, full config, version stamp),
+	// so warm results survive process restarts and are shared between the
+	// CLIs and the daemon. Runs under a non-nil Adjust hook bypass the
+	// store: the hook's effect cannot be content-addressed.
+	Store *resultstore.Store
 
 	mu       sync.Mutex
 	cache    map[runKey]gpu.Result
@@ -111,16 +123,50 @@ func NewRunner(scale float64, sms int) *Runner {
 // Run simulates workload app under the named configuration, memoising the
 // result.
 func (r *Runner) Run(app, cfgName string) (gpu.Result, error) {
-	return r.run(app, cfgName, false)
+	return r.RunContext(context.Background(), app, cfgName)
+}
+
+// RunContext is Run with cooperative cancellation: ctx bounds both the
+// wait for a worker-pool slot and the simulation itself.
+func (r *Runner) RunContext(ctx context.Context, app, cfgName string) (gpu.Result, error) {
+	return r.run(ctx, app, cfgName, false)
 }
 
 // RunWithLoadStats is Run with per-PC characterisation enabled.
 func (r *Runner) RunWithLoadStats(app, cfgName string) (gpu.Result, error) {
-	return r.run(app, cfgName, true)
+	return r.run(context.Background(), app, cfgName, true)
 }
 
-func (r *Runner) run(app, cfgName string, loadStats bool) (gpu.Result, error) {
-	k := runKey{app: app, cfg: cfgName, loadStats: loadStats}
+// RunWithLoadStatsContext is RunWithLoadStats with cancellation.
+func (r *Runner) RunWithLoadStatsContext(ctx context.Context, app, cfgName string) (gpu.Result, error) {
+	return r.run(ctx, app, cfgName, true)
+}
+
+func (r *Runner) run(ctx context.Context, app, cfgName string, loadStats bool) (gpu.Result, error) {
+	cfg, err := NamedConfig(cfgName)
+	if err != nil {
+		return gpu.Result{}, err
+	}
+	return r.runResolved(ctx, app, "name:"+cfgName, cfgName, cfg, loadStats)
+}
+
+// RunConfig simulates workload app under an explicit (not named)
+// configuration, sharing the Runner's memoisation, singleflight
+// deduplication, worker pool, and persistent store. The daemon uses it to
+// serve inline-config requests.
+func (r *Runner) RunConfig(ctx context.Context, app string, cfg config.Config, loadStats bool) (gpu.Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return gpu.Result{}, err
+	}
+	digest := resultstore.ConfigDigest(cfg)
+	return r.runResolved(ctx, app, "cfg:"+digest, "cfg:"+digest, cfg, loadStats)
+}
+
+// runResolved is the shared memoise + singleflight + simulate path. tag
+// uniquely identifies cfg within this Runner (a name or a content digest);
+// label names the config in error messages.
+func (r *Runner) runResolved(ctx context.Context, app, tag, label string, cfg config.Config, loadStats bool) (gpu.Result, error) {
+	k := runKey{app: app, cfg: tag, loadStats: loadStats}
 	r.mu.Lock()
 	if res, ok := r.cache[k]; ok {
 		r.stats.CacheHits++
@@ -132,8 +178,12 @@ func (r *Runner) run(app, cfgName string, loadStats bool) (gpu.Result, error) {
 		// instead of simulating twice.
 		r.stats.DedupWaits++
 		r.mu.Unlock()
-		<-fl.done
-		return fl.res, fl.err
+		select {
+		case <-fl.done:
+			return fl.res, fl.err
+		case <-ctx.Done():
+			return gpu.Result{}, ctx.Err()
+		}
 	}
 	if r.inflight == nil {
 		r.inflight = make(map[runKey]*inflightRun)
@@ -142,7 +192,7 @@ func (r *Runner) run(app, cfgName string, loadStats bool) (gpu.Result, error) {
 	r.inflight[k] = fl
 	r.mu.Unlock()
 
-	fl.res, fl.err = r.runOnce(app, cfgName, loadStats)
+	fl.res, fl.err = r.runOnce(ctx, app, label, cfg, loadStats)
 
 	r.mu.Lock()
 	if fl.err == nil {
@@ -157,15 +207,12 @@ func (r *Runner) run(app, cfgName string, loadStats bool) (gpu.Result, error) {
 	return fl.res, fl.err
 }
 
-// runOnce performs the actual simulation of one (workload, config) pair.
-func (r *Runner) runOnce(app, cfgName string, loadStats bool) (gpu.Result, error) {
+// runOnce performs the actual simulation of one (workload, config) pair,
+// consulting the persistent store first when one is attached.
+func (r *Runner) runOnce(ctx context.Context, app, label string, cfg config.Config, loadStats bool) (gpu.Result, error) {
 	w, ok := workloads.ByName(app)
 	if !ok {
 		return gpu.Result{}, fmt.Errorf("harness: unknown workload %q", app)
-	}
-	cfg, err := NamedConfig(cfgName)
-	if err != nil {
-		return gpu.Result{}, err
 	}
 	if r.SMs > 0 {
 		cfg.NumSMs = r.SMs
@@ -180,15 +227,77 @@ func (r *Runner) runOnce(app, cfgName string, loadStats bool) (gpu.Result, error
 	if r.Scale != 1 {
 		kern = kern.Scaled(r.Scale)
 	}
+
+	// The store key hashes the final effective run (after the SMs
+	// override), so CLI and daemon processes with the same settings share
+	// entries. Adjusted runs skip the store entirely.
+	var storeKey string
+	if r.Store != nil && r.Adjust == nil {
+		storeKey = resultstore.Key(app, r.Scale, loadStats, cfg, version.Stamp())
+		if e, ok := r.Store.Get(storeKey); ok {
+			r.mu.Lock()
+			r.stats.StoreHits++
+			r.mu.Unlock()
+			return e.Result, nil
+		}
+	}
+
 	var opts []gpu.Option
 	if loadStats {
 		opts = append(opts, gpu.WithLoadStats())
 	}
-	res, err := r.simulate(cfg, kern, opts...)
+	res, err := r.simulate(ctx, cfg, kern, opts...)
 	if err != nil {
-		return gpu.Result{}, fmt.Errorf("harness: %s/%s: %w", app, cfgName, err)
+		return gpu.Result{}, fmt.Errorf("harness: %s/%s: %w", app, label, err)
+	}
+	if storeKey != "" {
+		if err := r.Store.Put(storeKey, resultstore.Entry{
+			Workload:  app,
+			Scale:     r.Scale,
+			LoadStats: loadStats,
+			Version:   version.Stamp(),
+			Result:    res,
+		}); err != nil {
+			// A persistence failure must not fail the run; count it so
+			// metrics surface a sick store.
+			r.mu.Lock()
+			r.stats.StoreErrors++
+			r.mu.Unlock()
+		}
 	}
 	return res, nil
+}
+
+// Memoised reports whether a named-config run is already in the in-memory
+// cache (the daemon uses it to label responses as cached).
+func (r *Runner) Memoised(app, cfgName string, loadStats bool) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.cache[runKey{app: app, cfg: "name:" + cfgName, loadStats: loadStats}]
+	return ok
+}
+
+// MemoisedConfig is Memoised for explicit-config runs.
+func (r *Runner) MemoisedConfig(app string, cfg config.Config, loadStats bool) bool {
+	tag := "cfg:" + resultstore.ConfigDigest(cfg)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.cache[runKey{app: app, cfg: tag, loadStats: loadStats}]
+	return ok
+}
+
+// StoreKey returns the persistent-store key this Runner would use for the
+// given run, or "" when no store is attached (or an Adjust hook makes runs
+// non-addressable). The daemon includes it in responses so clients can
+// fetch the stored entry later.
+func (r *Runner) StoreKey(app string, cfg config.Config, loadStats bool) string {
+	if r.Store == nil || r.Adjust != nil {
+		return ""
+	}
+	if r.SMs > 0 {
+		cfg.NumSMs = r.SMs
+	}
+	return resultstore.Key(app, r.Scale, loadStats, cfg, version.Stamp())
 }
 
 // Series is one labelled row of per-application values.

@@ -12,19 +12,15 @@ import (
 func testRunner() *Runner { return NewRunner(0.08, 2) }
 
 func TestNamedConfig(t *testing.T) {
-	cases := map[string]func(config.Config) bool{
-		"base":       func(c config.Config) bool { return c.Scheduler == config.SchedLRR && c.Prefetcher == config.PrefNone },
-		"apres":      func(c config.Config) bool { return c.APRESCoupling },
-		"l1-32mb":    func(c config.Config) bool { return c.L1SizeBytes == 32<<20 },
-		"ccws":       func(c config.Config) bool { return c.Scheduler == config.SchedCCWS },
-		"ccws+str":   func(c config.Config) bool { return c.Scheduler == config.SchedCCWS && c.Prefetcher == config.PrefSTR },
-		"pa+sld":     func(c config.Config) bool { return c.Scheduler == config.SchedPA && c.Prefetcher == config.PrefSLD },
-		"laws":       func(c config.Config) bool { return c.Scheduler == config.SchedLAWS },
-		"mascar+str": func(c config.Config) bool { return c.Scheduler == config.SchedMASCAR },
-		"gto":        func(c config.Config) bool { return c.Scheduler == config.SchedGTO },
-		"twolevel":   func(c config.Config) bool { return c.Scheduler == config.SchedTwoLevel },
+	// The special names.
+	specials := map[string]func(config.Config) bool{
+		"base": func(c config.Config) bool { return c.Scheduler == config.SchedLRR && c.Prefetcher == config.PrefNone },
+		"apres": func(c config.Config) bool {
+			return c.Scheduler == config.SchedLAWS && c.Prefetcher == config.PrefSAP && c.APRESCoupling
+		},
+		"l1-32mb": func(c config.Config) bool { return c.L1SizeBytes == 32<<20 && c.Scheduler == config.SchedLRR },
 	}
-	for name, check := range cases {
+	for name, check := range specials {
 		c, err := NamedConfig(name)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
@@ -36,7 +32,45 @@ func TestNamedConfig(t *testing.T) {
 			t.Errorf("%s invalid: %v", name, err)
 		}
 	}
-	for _, bad := range []string{"nope", "ccws+nope", "a+b+c"} {
+
+	// The full documented scheduler x prefetcher matrix.
+	scheds := map[string]config.SchedulerKind{
+		"lrr": config.SchedLRR, "gto": config.SchedGTO,
+		"twolevel": config.SchedTwoLevel, "ccws": config.SchedCCWS,
+		"mascar": config.SchedMASCAR, "pa": config.SchedPA,
+		"laws": config.SchedLAWS,
+	}
+	prefs := map[string]config.PrefetcherKind{
+		"": config.PrefNone, "str": config.PrefSTR, "sld": config.PrefSLD,
+	}
+	for sname, sched := range scheds {
+		for pname, pref := range prefs {
+			name := sname
+			if pname != "" {
+				name += "+" + pname
+			}
+			c, err := NamedConfig(name)
+			if err != nil {
+				t.Errorf("%s: %v", name, err)
+				continue
+			}
+			if c.Scheduler != sched || c.Prefetcher != pref {
+				t.Errorf("%s resolved to %s+%s, want %s+%s", name, c.Scheduler, c.Prefetcher, sched, pref)
+			}
+			if c.APRESCoupling {
+				t.Errorf("%s enabled APRES coupling", name)
+			}
+			if err := c.Validate(); err != nil {
+				t.Errorf("%s invalid: %v", name, err)
+			}
+		}
+	}
+
+	// Error paths: unknown scheduler, unknown prefetcher, malformed names.
+	for _, bad := range []string{
+		"", "nope", "sap", "laws+nope", "ccws+nope", "laws+sap",
+		"+str", "gto+", "a+b+c", "laws+str+sld", "BASE", "apres+str",
+	} {
 		if _, err := NamedConfig(bad); err == nil {
 			t.Errorf("NamedConfig(%q) accepted", bad)
 		}

@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -23,6 +24,12 @@ type RunStats struct {
 	// DedupWaits is the number of Run calls that joined an identical
 	// in-flight run instead of simulating it a second time.
 	DedupWaits int64
+	// StoreHits is the number of runs answered from the persistent result
+	// store instead of simulating.
+	StoreHits int64
+	// StoreErrors counts failed persistent-store writes (the run itself
+	// still succeeds).
+	StoreErrors int64
 }
 
 // Sub returns s minus o, for per-experiment deltas.
@@ -31,6 +38,8 @@ func (s RunStats) Sub(o RunStats) RunStats {
 		Simulations: s.Simulations - o.Simulations,
 		CacheHits:   s.CacheHits - o.CacheHits,
 		DedupWaits:  s.DedupWaits - o.DedupWaits,
+		StoreHits:   s.StoreHits - o.StoreHits,
+		StoreErrors: s.StoreErrors - o.StoreErrors,
 	}
 }
 
@@ -57,31 +66,38 @@ type inflightRun struct {
 	err  error
 }
 
-// acquireSlot blocks until a simulation slot is free and returns its
-// release function. The semaphore is sized on first use, so Jobs must be
-// set before the Runner's first run.
-func (r *Runner) acquireSlot() func() {
+// acquireSlot blocks until a simulation slot is free (or ctx is cancelled)
+// and returns its release function. The semaphore is sized on first use,
+// so Jobs must be set before the Runner's first run.
+func (r *Runner) acquireSlot(ctx context.Context) (func(), error) {
 	r.mu.Lock()
 	if r.sem == nil {
 		r.sem = make(chan struct{}, r.workers())
 	}
 	sem := r.sem
 	r.mu.Unlock()
-	sem <- struct{}{}
-	return func() { <-sem }
+	select {
+	case sem <- struct{}{}:
+		return func() { <-sem }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // simulate executes one simulation under the pool's concurrency bound.
 // Every simulation the Runner performs — cached runs and sweep points
 // alike — funnels through here, so nested fan-outs (figure over series
 // over apps) never oversubscribe the machine.
-func (r *Runner) simulate(cfg config.Config, kern kernel.Kernel, opts ...gpu.Option) (gpu.Result, error) {
-	release := r.acquireSlot()
+func (r *Runner) simulate(ctx context.Context, cfg config.Config, kern kernel.Kernel, opts ...gpu.Option) (gpu.Result, error) {
+	release, err := r.acquireSlot(ctx)
+	if err != nil {
+		return gpu.Result{}, err
+	}
 	defer release()
 	r.mu.Lock()
 	r.stats.Simulations++
 	r.mu.Unlock()
-	return gpu.Simulate(cfg, kern, opts...)
+	return gpu.SimulateContext(ctx, cfg, kern, opts...)
 }
 
 // mapConcurrent applies f to every item using at most workers goroutines

@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"apres/internal/config"
@@ -71,7 +72,7 @@ func (r *Runner) sweep(title, app, cfgName string, points []int, label func(int)
 		if err := cfg.Validate(); err != nil {
 			return gpu.Result{}, fmt.Errorf("harness: sweep point %d: %w", v, err)
 		}
-		return r.simulate(cfg, kern)
+		return r.simulate(context.Background(), cfg, kern)
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,253 @@
+package resultstore
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"apres/internal/config"
+	"apres/internal/gpu"
+	"apres/internal/stats"
+)
+
+func testEntry(workload string, cycles int64) Entry {
+	return Entry{
+		Workload: workload,
+		Scale:    0.1,
+		Version:  "test",
+		Result: gpu.Result{
+			Config: config.Baseline(),
+			Kernel: workload,
+			Cycles: cycles,
+			Total:  stats.Stats{Cycles: cycles, Instructions: 3 * cycles},
+			PerSM:  []stats.Stats{{Instructions: cycles}, {Instructions: 2 * cycles}},
+		},
+	}
+}
+
+func TestKeyDeterministicAndSensitive(t *testing.T) {
+	base := config.Baseline()
+	k1 := Key("BFS", 1, false, base, "v1")
+	if k1 != Key("BFS", 1, false, base, "v1") {
+		t.Fatal("identical inputs hash differently")
+	}
+	if !ValidKey(k1) {
+		t.Fatalf("key %q is not 64 hex chars", k1)
+	}
+	distinct := map[string]string{
+		"workload":  Key("KM", 1, false, base, "v1"),
+		"scale":     Key("BFS", 0.5, false, base, "v1"),
+		"loadstats": Key("BFS", 1, true, base, "v1"),
+		"version":   Key("BFS", 1, false, base, "v2"),
+		"config":    Key("BFS", 1, false, base.WithScheduler(config.SchedLAWS), "v1"),
+	}
+	for what, k := range distinct {
+		if k == k1 {
+			t.Errorf("changing %s did not change the key", what)
+		}
+	}
+}
+
+func TestValidKeyRejectsEscapes(t *testing.T) {
+	for _, bad := range []string{
+		"", "ab", strings.Repeat("g", 64), strings.Repeat("A", 64),
+		"../" + strings.Repeat("a", 61), strings.Repeat("a", 63) + "/",
+	} {
+		if ValidKey(bad) {
+			t.Errorf("ValidKey(%q) = true", bad)
+		}
+	}
+	if !ValidKey(strings.Repeat("0af", 20) + "beef") {
+		t.Error("valid 64-hex key rejected")
+	}
+}
+
+func TestPutGetRoundTripAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := testEntry("BFS", 1234)
+	key := Key(e.Workload, e.Scale, false, e.Result.Config, e.Version)
+	if _, ok := s.Get(key); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	if err := s.Put(key, e); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok {
+		t.Fatal("just-stored entry missing")
+	}
+	if got.Key != key || !reflect.DeepEqual(got.Result, e.Result) {
+		t.Fatalf("round trip mutated the entry:\ngot  %+v\nwant %+v", got.Result, e.Result)
+	}
+	if got.CreatedAt.IsZero() {
+		t.Fatal("CreatedAt not stamped")
+	}
+
+	// A second store over the same directory serves the entry from disk.
+	s2, err := Open(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, ok := s2.Get(key)
+	if !ok {
+		t.Fatal("reopened store lost the entry")
+	}
+	if !reflect.DeepEqual(got2.Result, e.Result) {
+		t.Fatal("reopened entry differs")
+	}
+	st := s2.Stats()
+	if st.DiskHits != 1 || st.MemHits != 0 {
+		t.Fatalf("reopen stats = %+v, want one disk hit", st)
+	}
+	// And the second Get is a memory hit.
+	if _, ok := s2.Get(key); !ok {
+		t.Fatal("promoted entry missing")
+	}
+	if st := s2.Stats(); st.MemHits != 1 {
+		t.Fatalf("stats after promotion = %+v, want one mem hit", st)
+	}
+}
+
+func TestLRUEvictionKeepsDiskCopy(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 4)
+	for i := range keys {
+		e := testEntry("W", int64(100+i))
+		e.Scale = float64(i + 1) // distinct keys
+		keys[i] = Key(e.Workload, e.Scale, false, e.Result.Config, e.Version)
+		if err := s.Put(keys[i], e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 2 {
+		t.Fatalf("memory front holds %d entries, want 2", s.Len())
+	}
+	// The evicted oldest entry must still load (from disk).
+	got, ok := s.Get(keys[0])
+	if !ok {
+		t.Fatal("evicted entry lost from disk")
+	}
+	if got.Result.Cycles != 100 {
+		t.Fatalf("evicted entry corrupted: cycles=%d", got.Result.Cycles)
+	}
+	if st := s.Stats(); st.DiskHits != 1 {
+		t.Fatalf("stats = %+v, want one disk hit", st)
+	}
+}
+
+func TestCorruptFilesAreMisses(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := testEntry("BFS", 42)
+	key := Key(e.Workload, e.Scale, false, e.Result.Config, e.Version)
+	if err := s.Put(key, e); err != nil {
+		t.Fatal(err)
+	}
+
+	// Garbage, truncation, and a valid entry under the wrong key must all
+	// read as misses, never as errors or panics.
+	fresh := func() *Store {
+		st, err := Open(dir, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	path := filepath.Join(dir, key[:2], key+".json")
+	for name, mutate := range map[string]func() error{
+		"garbage":  func() error { return os.WriteFile(path, []byte("not json {"), 0o644) },
+		"truncate": func() error { return os.WriteFile(path, []byte(`{"key":"`), 0o644) },
+		"wrongkey": func() error { return os.WriteFile(path, []byte(`{"key":"deadbeef"}`), 0o644) },
+	} {
+		if err := mutate(); err != nil {
+			t.Fatal(err)
+		}
+		st := fresh()
+		if _, ok := st.Get(key); ok {
+			t.Errorf("%s: corrupted file served as a hit", name)
+		}
+		if got := st.Stats(); got.Corrupt != 1 || got.Misses != 1 {
+			t.Errorf("%s: stats = %+v, want corrupt=1 misses=1", name, got)
+		}
+	}
+}
+
+func TestNoTempFilesLeftBehind(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := testEntry("BFS", 7)
+	key := Key(e.Workload, e.Scale, false, e.Result.Config, e.Version)
+	if err := s.Put(key, e); err != nil {
+		t.Fatal(err)
+	}
+	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasPrefix(d.Name(), ".tmp-") {
+			t.Errorf("temp file left behind: %s", path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s, err := Open(t.TempDir(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e := testEntry("W", int64(i))
+			e.Scale = float64(i%4 + 1)
+			key := Key(e.Workload, e.Scale, false, e.Result.Config, e.Version)
+			for j := 0; j < 20; j++ {
+				if err := s.Put(key, e); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, ok := s.Get(key); !ok {
+					t.Error("lost entry under concurrency")
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestConfigDigest(t *testing.T) {
+	a := ConfigDigest(config.Baseline())
+	if a != ConfigDigest(config.Baseline()) {
+		t.Fatal("digest not deterministic")
+	}
+	if a == ConfigDigest(config.APRES()) {
+		t.Fatal("different configs share a digest")
+	}
+	if len(a) != 16 {
+		t.Fatalf("digest %q not 16 hex chars", a)
+	}
+}

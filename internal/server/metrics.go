@@ -1,0 +1,131 @@
+// Prometheus-text-format metrics without external dependencies: the
+// daemon's own counters (requests, in-flight simulations, latency
+// histograms) rendered alongside the Runner's and Store's counters at
+// scrape time. Output ordering is fully deterministic so tests can assert
+// exact lines.
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// latencyBuckets are the per-config simulation latency histogram bounds in
+// seconds (a +Inf bucket is implicit).
+var latencyBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 120}
+
+// histogram is a fixed-bucket cumulative latency histogram.
+type histogram struct {
+	counts []int64 // one per bucket, non-cumulative
+	sum    float64
+	count  int64
+}
+
+func (h *histogram) observe(v float64) {
+	if h.counts == nil {
+		h.counts = make([]int64, len(latencyBuckets))
+	}
+	for i, ub := range latencyBuckets {
+		if v <= ub {
+			h.counts[i]++
+			break
+		}
+	}
+	h.sum += v
+	h.count++
+}
+
+// metrics is the daemon's mutable counter set. All fields are guarded by
+// mu; rendering takes a consistent snapshot.
+type metrics struct {
+	mu sync.Mutex
+	// requests counts finished HTTP requests by "endpoint code".
+	requests map[string]int64
+	// inflight gauges requests currently executing simulations.
+	inflight int64
+	// simLatency histograms simulation wall time by config label.
+	simLatency map[string]*histogram
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests:   make(map[string]int64),
+		simLatency: make(map[string]*histogram),
+	}
+}
+
+func (m *metrics) countRequest(endpoint string, code int) {
+	m.mu.Lock()
+	m.requests[fmt.Sprintf("%s %d", endpoint, code)]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) simStart() {
+	m.mu.Lock()
+	m.inflight++
+	m.mu.Unlock()
+}
+
+func (m *metrics) simEnd(cfgLabel string, seconds float64) {
+	m.mu.Lock()
+	m.inflight--
+	h, ok := m.simLatency[cfgLabel]
+	if !ok {
+		h = &histogram{}
+		m.simLatency[cfgLabel] = h
+	}
+	h.observe(seconds)
+	m.mu.Unlock()
+}
+
+// render writes the full exposition. extra appends daemon-level gauges
+// (runner/store counters) that live outside this struct.
+func (m *metrics) render(b *strings.Builder, version string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintf(b, "# HELP apresd_build_info Constant 1, labelled with the simulator version stamp.\n")
+	fmt.Fprintf(b, "# TYPE apresd_build_info gauge\n")
+	fmt.Fprintf(b, "apresd_build_info{version=%q} 1\n", version)
+
+	fmt.Fprintf(b, "# HELP apresd_requests_total Finished HTTP requests by endpoint and status code.\n")
+	fmt.Fprintf(b, "# TYPE apresd_requests_total counter\n")
+	keys := make([]string, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		var endpoint string
+		var code int
+		fmt.Sscanf(k, "%s %d", &endpoint, &code)
+		fmt.Fprintf(b, "apresd_requests_total{endpoint=%q,code=\"%d\"} %d\n", endpoint, code, m.requests[k])
+	}
+
+	fmt.Fprintf(b, "# HELP apresd_inflight_simulations Requests currently executing simulations.\n")
+	fmt.Fprintf(b, "# TYPE apresd_inflight_simulations gauge\n")
+	fmt.Fprintf(b, "apresd_inflight_simulations %d\n", m.inflight)
+
+	fmt.Fprintf(b, "# HELP apresd_sim_duration_seconds Simulation wall time by configuration.\n")
+	fmt.Fprintf(b, "# TYPE apresd_sim_duration_seconds histogram\n")
+	cfgs := make([]string, 0, len(m.simLatency))
+	for c := range m.simLatency {
+		cfgs = append(cfgs, c)
+	}
+	sort.Strings(cfgs)
+	for _, c := range cfgs {
+		h := m.simLatency[c]
+		var cum int64
+		for i, ub := range latencyBuckets {
+			if h.counts != nil {
+				cum += h.counts[i]
+			}
+			fmt.Fprintf(b, "apresd_sim_duration_seconds_bucket{config=%q,le=\"%g\"} %d\n", c, ub, cum)
+		}
+		fmt.Fprintf(b, "apresd_sim_duration_seconds_bucket{config=%q,le=\"+Inf\"} %d\n", c, h.count)
+		fmt.Fprintf(b, "apresd_sim_duration_seconds_sum{config=%q} %g\n", c, h.sum)
+		fmt.Fprintf(b, "apresd_sim_duration_seconds_count{config=%q} %d\n", c, h.count)
+	}
+}

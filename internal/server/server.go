@@ -1,0 +1,443 @@
+// Package server implements apresd's HTTP API: simulation as a service on
+// top of harness.Runner (worker pool, singleflight dedup, in-memory memo)
+// and resultstore.Store (persistent content-addressed results). The JSON
+// API is:
+//
+//	POST /v1/simulate       one (workload, config) run -> full statistics
+//	POST /v1/sweep          workload x config matrix -> per-cell summaries
+//	GET  /v1/results/{key}  fetch a stored entry by content address
+//	GET  /healthz           liveness + version
+//	GET  /metrics           Prometheus text format, no external deps
+//
+// Configurations are either named (harness.NamedConfig names such as
+// "apres" or "ccws+str") or inline full config.Config JSON objects. Bad
+// requests — unknown workloads, unknown config names, configurations that
+// fail config.Validate — return 400 with a JSON error body.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"apres/internal/config"
+	"apres/internal/gpu"
+	"apres/internal/harness"
+	"apres/internal/resultstore"
+	"apres/internal/version"
+	"apres/internal/workloads"
+)
+
+// maxBodyBytes bounds request bodies; config JSON is tiny.
+const maxBodyBytes = 1 << 20
+
+// Options configures a Server.
+type Options struct {
+	// Runner executes simulations. Required. Attach a resultstore to it
+	// (Runner.Store) for persistence; the server reads the same store for
+	// GET /v1/results.
+	Runner *harness.Runner
+	// SimTimeout bounds each request's simulation wall time; 0 means no
+	// per-request timeout.
+	SimTimeout time.Duration
+}
+
+// Server is the apresd HTTP handler. Create with New; it is safe for
+// concurrent use.
+type Server struct {
+	runner  *harness.Runner
+	timeout time.Duration
+	mux     *http.ServeMux
+	metrics *metrics
+	started time.Time
+}
+
+// New builds a Server over opts.Runner.
+func New(opts Options) *Server {
+	s := &Server{
+		runner:  opts.Runner,
+		timeout: opts.SimTimeout,
+		mux:     http.NewServeMux(),
+		metrics: newMetrics(),
+		started: time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/simulate", s.counted("simulate", s.handleSimulate))
+	s.mux.HandleFunc("POST /v1/sweep", s.counted("sweep", s.handleSweep))
+	s.mux.HandleFunc("GET /v1/results/{key}", s.counted("results", s.handleResult))
+	s.mux.HandleFunc("GET /healthz", s.counted("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.counted("metrics", s.handleMetrics))
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Serve accepts connections on l until ctx is cancelled (cmd/apresd wires
+// SIGTERM/SIGINT to that), then drains: in-flight requests — including
+// running simulations — complete before Serve returns, bounded by drain
+// (0 = wait indefinitely). Returns nil on a clean drain.
+func (s *Server) Serve(ctx context.Context, l net.Listener, drain time.Duration) error {
+	hs := &http.Server{Handler: s}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	sctx := context.Background()
+	if drain > 0 {
+		var cancel context.CancelFunc
+		sctx, cancel = context.WithTimeout(sctx, drain)
+		defer cancel()
+	}
+	return hs.Shutdown(sctx)
+}
+
+// ListenAndServe is Serve over a fresh TCP listener on addr.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, drain time.Duration) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, l, drain)
+}
+
+// statusWriter captures the response code for request metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(c int) {
+	w.code = c
+	w.ResponseWriter.WriteHeader(c)
+}
+
+// counted wraps a handler with per-endpoint request/status counting.
+func (s *Server) counted(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.metrics.countRequest(endpoint, sw.code)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// SimulateRequest is the POST /v1/simulate body. Exactly one of Config
+// (a harness.NamedConfig name) or ConfigInline (a full config.Config) may
+// be set; with neither, "base" is used.
+type SimulateRequest struct {
+	Workload     string         `json:"workload"`
+	Config       string         `json:"config,omitempty"`
+	ConfigInline *config.Config `json:"configInline,omitempty"`
+	LoadStats    bool           `json:"loadStats,omitempty"`
+}
+
+// SimulateResponse is the POST /v1/simulate reply.
+type SimulateResponse struct {
+	Workload string `json:"workload"`
+	// Config names the configuration: the request's name, or a content
+	// digest label for inline configs.
+	Config string `json:"config"`
+	// Key is the persistent-store content address of this result ("" when
+	// the daemon runs without a store).
+	Key string `json:"key,omitempty"`
+	// Cached reports the result was already available (memo or store)
+	// before this request.
+	Cached bool  `json:"cached"`
+	WallMS int64 `json:"wallMs"`
+	// Version is the simulator version stamp that served the request.
+	Version string     `json:"version"`
+	Result  gpu.Result `json:"result"`
+}
+
+// resolveConfig validates a request's workload/config pair. It returns the
+// resolved configuration, a label for metrics and responses, and whether
+// the config was named (vs inline).
+func resolveConfig(req *SimulateRequest) (cfg config.Config, label string, named bool, err error) {
+	if req.Workload == "" {
+		return cfg, "", false, errors.New("missing workload")
+	}
+	if _, ok := workloads.ByName(req.Workload); !ok {
+		return cfg, "", false, fmt.Errorf("unknown workload %q", req.Workload)
+	}
+	if req.Config != "" && req.ConfigInline != nil {
+		return cfg, "", false, errors.New("config and configInline are mutually exclusive")
+	}
+	if req.ConfigInline != nil {
+		cfg = *req.ConfigInline
+		if err := cfg.Validate(); err != nil {
+			return cfg, "", false, err
+		}
+		return cfg, "cfg:" + resultstore.ConfigDigest(cfg)[:8], false, nil
+	}
+	name := req.Config
+	if name == "" {
+		name = "base"
+	}
+	cfg, err = harness.NamedConfig(name)
+	if err != nil {
+		return cfg, "", false, err
+	}
+	return cfg, name, true, nil
+}
+
+// simCtx derives the per-request simulation context.
+func (s *Server) simCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.timeout > 0 {
+		return context.WithTimeout(r.Context(), s.timeout)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// runErrorStatus maps a runner error to an HTTP status.
+func runErrorStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	cfg, label, named, err := resolveConfig(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	key := s.runner.StoreKey(req.Workload, cfg, req.LoadStats)
+	cached := s.cachedBefore(req.Workload, cfg, label, named, req.LoadStats, key)
+
+	ctx, cancel := s.simCtx(r)
+	defer cancel()
+	s.metrics.simStart()
+	t0 := time.Now()
+	var res gpu.Result
+	if named {
+		if req.LoadStats {
+			res, err = s.runner.RunWithLoadStatsContext(ctx, req.Workload, label)
+		} else {
+			res, err = s.runner.RunContext(ctx, req.Workload, label)
+		}
+	} else {
+		res, err = s.runner.RunConfig(ctx, req.Workload, cfg, req.LoadStats)
+	}
+	wall := time.Since(t0)
+	s.metrics.simEnd(label, wall.Seconds())
+	if err != nil {
+		writeError(w, runErrorStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SimulateResponse{
+		Workload: req.Workload,
+		Config:   label,
+		Key:      key,
+		Cached:   cached,
+		WallMS:   wall.Milliseconds(),
+		Version:  version.Stamp(),
+		Result:   res,
+	})
+}
+
+// cachedBefore reports whether the result was already available (in-memory
+// memo or persistent store) before the request ran.
+func (s *Server) cachedBefore(app string, cfg config.Config, label string, named, loadStats bool, key string) bool {
+	if named {
+		if s.runner.Memoised(app, label, loadStats) {
+			return true
+		}
+	} else if s.runner.MemoisedConfig(app, cfg, loadStats) {
+		return true
+	}
+	return key != "" && s.runner.Store.Contains(key)
+}
+
+// SweepRequest is the POST /v1/sweep body: the full cross product of
+// Workloads x Configs is simulated (cells fan out across the Runner's
+// worker pool and deduplicate against everything else in flight).
+type SweepRequest struct {
+	Workloads []string `json:"workloads"`
+	Configs   []string `json:"configs"`
+	LoadStats bool     `json:"loadStats,omitempty"`
+}
+
+// SweepCell is one (workload, config) summary. Full statistics for any
+// cell can be fetched from GET /v1/results/{key}.
+type SweepCell struct {
+	Workload  string  `json:"workload"`
+	Config    string  `json:"config"`
+	Key       string  `json:"key,omitempty"`
+	Cached    bool    `json:"cached"`
+	Cycles    int64   `json:"cycles"`
+	IPC       float64 `json:"ipc"`
+	L1HitRate float64 `json:"l1HitRate"`
+	WallMS    int64   `json:"wallMs"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// SweepResponse is the POST /v1/sweep reply, cells in workload-major
+// request order.
+type SweepResponse struct {
+	Cells []SweepCell `json:"cells"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Workloads) == 0 || len(req.Configs) == 0 {
+		writeError(w, http.StatusBadRequest, "workloads and configs must both be non-empty")
+		return
+	}
+	// Validate the whole matrix up front so a typo fails fast with 400
+	// instead of surfacing mid-sweep.
+	for _, app := range req.Workloads {
+		if _, ok := workloads.ByName(app); !ok {
+			writeError(w, http.StatusBadRequest, "unknown workload %q", app)
+			return
+		}
+	}
+	for _, name := range req.Configs {
+		if _, err := harness.NamedConfig(name); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+
+	ctx, cancel := s.simCtx(r)
+	defer cancel()
+	type cellIn struct{ app, cfgName string }
+	var ins []cellIn
+	for _, app := range req.Workloads {
+		for _, cfgName := range req.Configs {
+			ins = append(ins, cellIn{app, cfgName})
+		}
+	}
+	cells := make([]SweepCell, len(ins))
+	var wg sync.WaitGroup
+	for i, in := range ins {
+		wg.Add(1)
+		go func(i int, in cellIn) {
+			defer wg.Done()
+			cfg, _ := harness.NamedConfig(in.cfgName)
+			key := s.runner.StoreKey(in.app, cfg, req.LoadStats)
+			cell := SweepCell{
+				Workload: in.app,
+				Config:   in.cfgName,
+				Key:      key,
+				Cached:   s.cachedBefore(in.app, cfg, in.cfgName, true, req.LoadStats, key),
+			}
+			s.metrics.simStart()
+			t0 := time.Now()
+			var res gpu.Result
+			var err error
+			if req.LoadStats {
+				res, err = s.runner.RunWithLoadStatsContext(ctx, in.app, in.cfgName)
+			} else {
+				res, err = s.runner.RunContext(ctx, in.app, in.cfgName)
+			}
+			wall := time.Since(t0)
+			s.metrics.simEnd(in.cfgName, wall.Seconds())
+			cell.WallMS = wall.Milliseconds()
+			if err != nil {
+				cell.Error = err.Error()
+			} else {
+				cell.Cycles = res.Cycles
+				cell.IPC = res.IPC()
+				cell.L1HitRate = res.Total.L1HitRate()
+			}
+			cells[i] = cell
+		}(i, in)
+	}
+	wg.Wait()
+
+	// A whole-sweep timeout is a request failure, not a partial answer.
+	if err := ctx.Err(); err != nil {
+		writeError(w, runErrorStatus(err), "sweep aborted: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SweepResponse{Cells: cells})
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !resultstore.ValidKey(key) {
+		writeError(w, http.StatusBadRequest, "malformed key %q: want 64 hex characters", key)
+		return
+	}
+	if s.runner.Store == nil {
+		writeError(w, http.StatusServiceUnavailable, "daemon runs without a result store")
+		return
+	}
+	e, ok := s.runner.Store.Get(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no result under %s", key)
+		return
+	}
+	writeJSON(w, http.StatusOK, e)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"version":       version.Stamp(),
+		"uptimeSeconds": int64(time.Since(s.started).Seconds()),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	s.metrics.render(&b, version.Stamp())
+
+	rs := s.runner.Stats()
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("apresd_runner_simulations_total", "Simulations actually executed.", rs.Simulations)
+	counter("apresd_runner_cache_hits_total", "Runs answered from the in-memory memo.", rs.CacheHits)
+	counter("apresd_runner_dedup_waits_total", "Runs that joined an identical in-flight simulation.", rs.DedupWaits)
+	counter("apresd_runner_store_hits_total", "Runs answered from the persistent result store.", rs.StoreHits)
+	counter("apresd_runner_store_errors_total", "Failed persistent-store writes.", rs.StoreErrors)
+	if s.runner.Store != nil {
+		ss := s.runner.Store.Stats()
+		counter("apresd_store_memory_hits_total", "Store lookups answered from the LRU front.", ss.MemHits)
+		counter("apresd_store_disk_hits_total", "Store lookups answered from disk.", ss.DiskHits)
+		counter("apresd_store_misses_total", "Store lookups that found nothing.", ss.Misses)
+		counter("apresd_store_puts_total", "Entries written to the store.", ss.Puts)
+		counter("apresd_store_corrupt_total", "Unreadable on-disk entries treated as misses.", ss.Corrupt)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}

@@ -1,0 +1,55 @@
+// Package version identifies the simulator build. The stamp is folded into
+// every result-store key (internal/resultstore), so persisted simulation
+// results are automatically invalidated whenever the model changes: a new
+// git revision (or module version) produces new keys and old entries are
+// simply never looked up again.
+package version
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+var (
+	once  sync.Once
+	stamp string
+)
+
+// Stamp returns a stable identifier of this build: the VCS revision when
+// the binary was built from a git checkout (suffixed with "+dirty" for
+// modified trees), else the module version, else "devel". The value is
+// computed once and never changes within a process.
+func Stamp() string {
+	once.Do(func() { stamp = compute(debug.ReadBuildInfo) })
+	return stamp
+}
+
+// compute derives the stamp from build info; split out (and parameterised)
+// for testing.
+func compute(read func() (*debug.BuildInfo, bool)) string {
+	bi, ok := read()
+	if !ok || bi == nil {
+		return "devel"
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if rev != "" {
+		return rev + dirty
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	return "devel"
+}

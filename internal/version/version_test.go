@@ -1,0 +1,45 @@
+package version
+
+import (
+	"runtime/debug"
+	"testing"
+)
+
+func TestStampStableAndNonEmpty(t *testing.T) {
+	a, b := Stamp(), Stamp()
+	if a == "" {
+		t.Fatal("Stamp() is empty")
+	}
+	if a != b {
+		t.Fatalf("Stamp() not stable: %q vs %q", a, b)
+	}
+}
+
+func TestComputeFallbacks(t *testing.T) {
+	none := func() (*debug.BuildInfo, bool) { return nil, false }
+	if got := compute(none); got != "devel" {
+		t.Fatalf("no build info: got %q, want devel", got)
+	}
+
+	bi := func(settings []debug.BuildSetting, modVersion string) func() (*debug.BuildInfo, bool) {
+		return func() (*debug.BuildInfo, bool) {
+			i := &debug.BuildInfo{Settings: settings}
+			i.Main.Version = modVersion
+			return i, true
+		}
+	}
+	if got := compute(bi(nil, "(devel)")); got != "devel" {
+		t.Fatalf("devel module: got %q", got)
+	}
+	if got := compute(bi(nil, "v1.2.3")); got != "v1.2.3" {
+		t.Fatalf("module version: got %q", got)
+	}
+	rev := []debug.BuildSetting{{Key: "vcs.revision", Value: "0123456789abcdef0123"}}
+	if got := compute(bi(rev, "v1.2.3")); got != "0123456789ab" {
+		t.Fatalf("revision: got %q", got)
+	}
+	dirty := append(rev, debug.BuildSetting{Key: "vcs.modified", Value: "true"})
+	if got := compute(bi(dirty, "")); got != "0123456789ab+dirty" {
+		t.Fatalf("dirty revision: got %q", got)
+	}
+}
