@@ -16,7 +16,9 @@ import (
 	"testing"
 
 	"apres/internal/config"
+	"apres/internal/gpu"
 	"apres/internal/harness"
+	"apres/internal/workloads"
 )
 
 const (
@@ -315,18 +317,37 @@ func BenchmarkFig10ByJobs(b *testing.B) {
 }
 
 // BenchmarkSimulatorThroughput measures raw simulation speed (cycles
-// simulated per second) — useful when sizing new experiments.
+// simulated per second) — useful when sizing new experiments. The skip
+// sub-benchmarks run the event-driven loop as shipped; the noskip pair
+// forces the cycle-by-cycle loop, so the ratio is the fast-forwarding win
+// on memory-intensive workloads. BENCH_sim.json records the headline
+// numbers.
 func BenchmarkSimulatorThroughput(b *testing.B) {
-	r := harness.NewRunner(benchScale, benchSMs)
-	var cycles int64
-	for i := 0; i < b.N; i++ {
-		res, err := r.Run("SP", "base")
-		if err != nil {
-			b.Fatal(err)
+	for _, app := range []string{"SP", "BFS"} {
+		w, ok := workloads.ByName(app)
+		if !ok {
+			b.Fatalf("unknown workload %s", app)
 		}
-		cycles = res.Cycles
-		// Bust the cache so the benchmark measures simulation work.
-		r = harness.NewRunner(benchScale, benchSMs)
+		kern := w.Kernel.Scaled(benchScale)
+		for _, mode := range []struct {
+			name string
+			opts []gpu.Option
+		}{
+			{"skip", nil},
+			{"noskip", []gpu.Option{gpu.WithoutCycleSkipping()}},
+		} {
+			b.Run(app+"/"+mode.name, func(b *testing.B) {
+				b.ReportAllocs()
+				var cycles int64
+				for i := 0; i < b.N; i++ {
+					res, err := gpu.Simulate(config.Baseline(), kern, mode.opts...)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles += res.Cycles
+				}
+				b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/sec")
+			})
+		}
 	}
-	b.ReportMetric(float64(cycles), "cycles")
 }

@@ -36,6 +36,7 @@ import (
 	"apres/internal/energy"
 	"apres/internal/gpu"
 	"apres/internal/harness"
+	"apres/internal/profiling"
 	"apres/internal/resultstore"
 	"apres/internal/server"
 	"apres/internal/version"
@@ -57,9 +58,18 @@ func main() {
 		list      = flag.Bool("list", false, "list workloads and exit")
 		storeDir  = flag.String("store", "", "persistent result-store directory shared with apresd (empty = off)")
 		serverURL = flag.String("server", "", "delegate simulations to a running apresd at this base URL")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
 		showVer   = flag.Bool("version", false, "print the simulator version stamp and exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	if *showVer {
 		fmt.Println(version.Stamp())

@@ -23,6 +23,7 @@ import (
 
 	"apres/internal/config"
 	"apres/internal/harness"
+	"apres/internal/profiling"
 	"apres/internal/resultstore"
 	"apres/internal/version"
 )
@@ -41,6 +42,8 @@ func main() {
 		format   = flag.String("format", harness.FormatText, "figure output format: text|csv|md")
 		jobs     = flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		storeDir = flag.String("store", "", "persistent result-store directory shared with apresd (empty = off)")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
 		showVer  = flag.Bool("version", false, "print the simulator version stamp and exit")
 	)
 	flag.Parse()
@@ -49,6 +52,13 @@ func main() {
 		fmt.Println(version.Stamp())
 		return
 	}
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	known := map[string]bool{}
 	for _, id := range experimentIDs {

@@ -149,11 +149,37 @@ type SM struct {
 	alive       int
 	nextLaunch  int
 	totalLaunch int
+
+	// The three per-cycle queues advance a head index instead of
+	// re-slicing so their backing arrays are reused for the whole run:
+	// the LSU path must not allocate per operation.
 	lsuQ        []lsuOp
+	lsuHead     int
 	pfQ         []prefetch.Request
-	pfQueued    map[arch.LineAddr]struct{}
-	pfAcc       map[arch.PC]*pfAccuracy
+	pfHead      int
 	completions []completion
+	compHead    int
+
+	pfQueued map[arch.LineAddr]struct{}
+	pfAcc    map[arch.PC]*pfAccuracy
+
+	// Warp readiness is tracked incrementally so readyMask is a handful
+	// of mask operations instead of a scan over every warp's walker each
+	// cycle (the scan dominated the simulator's profile). The masks are
+	// updated at the state transitions that can change them: instruction
+	// advance, issue scheduling, completion/fill, warp finish/relaunch.
+	readyTime arch.WarpMask // warps whose nextIssue cycle has arrived
+	doneM     arch.WarpMask // warps whose slot has finished for good
+	memDepM   arch.WarpMask // warps whose next instruction depends on memory
+	memOpM    arch.WarpMask // warps whose next instruction is a load/store
+	outM      arch.WarpMask // warps with outstanding demand lines in flight
+	allM      arch.WarpMask // every warp slot of this SM
+	// ring is the nextIssue expiry calendar: ring[c%len] holds the warps
+	// whose pipeline delay ends at cycle c. len is PipelineDepth+1, the
+	// longest delay issueTick ever schedules, and ringBase is the first
+	// cycle not yet folded into readyTime.
+	ring     []arch.WarpMask
+	ringBase int64
 
 	st *stats.Stats
 
@@ -161,8 +187,9 @@ type SM struct {
 	CollectLoadStats bool
 	loadStats        map[arch.PC]*LoadStat
 
-	laneBuf []arch.Addr
-	lineBuf []arch.LineAddr
+	laneBuf   []arch.Addr
+	lineBuf   []arch.LineAddr
+	targetBuf []prefetch.Target
 }
 
 // NewSM builds an SM running the given kernel slice. The scheduler is
@@ -191,10 +218,20 @@ func NewSM(id int, cfg config.Config, kern kernel.Kernel, memSys *dram.MemSystem
 	if sm.totalLaunch < nWarps {
 		sm.totalLaunch = nWarps
 	}
-	for i := range sm.warps {
-		sm.warps[i].wid = arch.WarpID(i)
-		sm.warps[i].walker = kernel.NewWalker(&sm.kern.Program, arch.WarpID(i))
+	ringLen := cfg.PipelineDepth + 1
+	if ringLen < 2 {
+		ringLen = 2
 	}
+	sm.ring = make([]arch.WarpMask, ringLen)
+	for i := range sm.warps {
+		w := arch.WarpID(i)
+		sm.warps[i].wid = w
+		sm.warps[i].walker = kernel.NewWalker(&sm.kern.Program, w)
+		sm.allM = sm.allM.Set(w)
+		sm.refreshInstMasks(w)
+	}
+	// Every warp starts with nextIssue == 0, i.e. already eligible.
+	sm.readyTime = sm.allM
 	s, err := sched.New(cfg, nWarps, sm)
 	if err != nil {
 		return nil, err
@@ -227,9 +264,18 @@ func (sm *SM) NextIsMem(w arch.WarpID) bool {
 	return op == kernel.OpLoad || op == kernel.OpStore
 }
 
+// lsuLen returns the number of queued LSU operations.
+func (sm *SM) lsuLen() int { return len(sm.lsuQ) - sm.lsuHead }
+
+// pfLen returns the number of queued prefetch injections.
+func (sm *SM) pfLen() int { return len(sm.pfQ) - sm.pfHead }
+
+// compLen returns the number of outstanding hit completions.
+func (sm *SM) compLen() int { return len(sm.completions) - sm.compHead }
+
 // Done reports whether all warps have exited and no local work remains.
 func (sm *SM) Done() bool {
-	return sm.alive == 0 && len(sm.lsuQ) == 0 && len(sm.completions) == 0
+	return sm.alive == 0 && sm.lsuLen() == 0 && sm.compLen() == 0
 }
 
 // Stats returns the SM's counters.
@@ -265,7 +311,11 @@ func (sm *SM) HandleFill(r dram.Response, cycle int64) {
 		if w.Kind != arch.AccessLoad {
 			continue
 		}
-		sm.warps[w.Warp].outstanding--
+		wc := &sm.warps[w.Warp]
+		wc.outstanding--
+		if wc.outstanding == 0 {
+			sm.outM = sm.outM.Clear(w.Warp)
+		}
 		sm.st.MemLatencySum += cycle - w.IssueCycle
 		sm.st.MemLatencyCount++
 	}
@@ -281,39 +331,135 @@ func (sm *SM) Tick(cycle int64) {
 }
 
 func (sm *SM) expireCompletions(cycle int64) {
-	n := 0
-	for _, c := range sm.completions {
-		if c.cycle > cycle {
-			break
+	for sm.compHead < len(sm.completions) && sm.completions[sm.compHead].cycle <= cycle {
+		w := sm.completions[sm.compHead].warp
+		wc := &sm.warps[w]
+		wc.outstanding--
+		if wc.outstanding == 0 {
+			sm.outM = sm.outM.Clear(w)
 		}
-		sm.warps[c.warp].outstanding--
-		n++
+		sm.compHead++
 	}
-	if n > 0 {
-		sm.completions = sm.completions[n:]
-		if len(sm.completions) == 0 {
-			sm.completions = nil
-		}
+	if sm.compHead == len(sm.completions) {
+		sm.completions = sm.completions[:0]
+		sm.compHead = 0
 	}
 }
 
-// readyMask computes the set of warps able to issue this cycle.
+// NextWakeup returns the earliest cycle strictly after cycle at which the
+// SM could make progress on its own: pending LSU or prefetch work next
+// cycle, the next hit completion, or the next issue slot of a warp that is
+// not waiting on memory. When every live warp is blocked on an in-flight
+// fill it returns a far-future sentinel — only a NoC delivery (an event
+// the global loop bounds separately) can wake the SM. The global loop may
+// skip the clock to the minimum wakeup across components; every skipped
+// cycle is then accounted through SkipIdle, keeping results bit-identical
+// to the cycle-by-cycle loop.
+func (sm *SM) NextWakeup(cycle int64) int64 {
+	if sm.lsuLen() > 0 || sm.pfLen() > 0 {
+		return cycle + 1
+	}
+	if sm.readyMask(cycle) != 0 {
+		// A warp could still issue (the scheduler may simply have declined
+		// to pick one this cycle): tick again next cycle.
+		return cycle + 1
+	}
+	next := int64(1) << 62
+	if sm.compHead < len(sm.completions) {
+		next = sm.completions[sm.compHead].cycle
+	}
+	// Earliest calendar slot holding a warp that nothing besides its
+	// pipeline delay blocks. Memory-blocked warps are excluded: the event
+	// that unblocks them is a completion (bounded above) or a fill, and
+	// fills always arrive through a NoC delivery the global loop bounds
+	// separately.
+	cand := sm.allM &^ sm.doneM &^ (sm.memDepM & sm.outM)
+	n := int64(len(sm.ring))
+	for c := sm.ringBase; c < sm.ringBase+n && c < next; c++ {
+		if sm.ring[c%n]&cand != 0 {
+			next = c
+			break
+		}
+	}
+	if next <= cycle+1 {
+		return cycle + 1
+	}
+	return next
+}
+
+// SkipIdle accounts the provably idle cycles from..to (inclusive) the
+// event-driven loop jumped over: the cycle-by-cycle loop would have
+// Ticked the SM through each one, found no ready warp, and recorded one
+// issue-stall cycle — nothing else in Tick can fire on an idle cycle.
+func (sm *SM) SkipIdle(from, to int64) {
+	sm.st.IssueStallCycles += to - from + 1
+	sm.st.Cycles = to + 1
+}
+
+// refreshInstMasks reclassifies warp w's next instruction into the
+// memory-dependence and memory-op masks after its walker moved.
+func (sm *SM) refreshInstMasks(w arch.WarpID) {
+	in := sm.warps[w].walker.Peek()
+	b := arch.Bit(w)
+	sm.memDepM &^= b
+	sm.memOpM &^= b
+	if in.DependsOnMem {
+		sm.memDepM |= b
+	}
+	if in.Op == kernel.OpLoad || in.Op == kernel.OpStore {
+		sm.memOpM |= b
+	}
+}
+
+// ringFlush folds every calendar slot due at or before cycle into
+// readyTime. Slot cycles always lie in [ringBase, ringBase+len), so a jump
+// of a full ring length simply folds everything.
+func (sm *SM) ringFlush(cycle int64) {
+	if cycle < sm.ringBase {
+		return
+	}
+	n := int64(len(sm.ring))
+	if cycle-sm.ringBase >= n-1 {
+		for i := range sm.ring {
+			sm.readyTime |= sm.ring[i]
+			sm.ring[i] = 0
+		}
+	} else {
+		for c := sm.ringBase; c <= cycle; c++ {
+			sm.readyTime |= sm.ring[c%n]
+			sm.ring[c%n] = 0
+		}
+	}
+	sm.ringBase = cycle + 1
+}
+
+// scheduleIssue moves warp w out of the ready set until cycle at: it is
+// removed from any calendar slot it still occupies (a relaunch reschedules
+// before the first delay expires) and parked in the slot for at.
+func (sm *SM) scheduleIssue(w arch.WarpID, cycle, at int64) {
+	b := arch.Bit(w)
+	n := int64(len(sm.ring))
+	if wc := &sm.warps[w]; wc.nextIssue >= sm.ringBase {
+		sm.ring[wc.nextIssue%n] &^= b
+	}
+	if at <= cycle {
+		at = cycle + 1
+	}
+	sm.warps[w].nextIssue = at
+	sm.readyTime &^= b
+	sm.ring[at%n] |= b
+}
+
+// readyMask returns the set of warps able to issue this cycle. The masks
+// make it O(1): a warp is ready when its pipeline delay has expired
+// (readyTime, maintained by the expiry calendar), it has not finished, and
+// its next instruction is not waiting on an in-flight line — minus, when
+// the LSU queue is full, every warp about to issue a memory op.
 func (sm *SM) readyMask(cycle int64) arch.WarpMask {
-	var m arch.WarpMask
-	lsuFull := len(sm.lsuQ) >= lsuQueueMax
-	for i := range sm.warps {
-		wc := &sm.warps[i]
-		if wc.done || wc.nextIssue > cycle {
-			continue
-		}
-		in := wc.walker.Peek()
-		if in.DependsOnMem && wc.outstanding > 0 {
-			continue
-		}
-		if (in.Op == kernel.OpLoad || in.Op == kernel.OpStore) && lsuFull {
-			continue
-		}
-		m = m.Set(arch.WarpID(i))
+	sm.ringFlush(cycle)
+	m := sm.readyTime &^ sm.doneM &^ (sm.memDepM & sm.outM)
+	if sm.lsuLen() >= lsuQueueMax {
+		m &^= sm.memOpM
 	}
 	return m
 }
@@ -338,9 +484,9 @@ func (sm *SM) issueTick(cycle int64) {
 	// dependent first use of loaded data. Independent instructions in a
 	// burst issue back to back.
 	if in.Op == kernel.OpLoad || in.Op == kernel.OpStore || in.DependsOnMem {
-		wc.nextIssue = cycle + int64(sm.cfg.PipelineDepth)
+		sm.scheduleIssue(w, cycle, cycle+int64(sm.cfg.PipelineDepth))
 	} else {
-		wc.nextIssue = cycle + 1
+		sm.scheduleIssue(w, cycle, cycle+1)
 	}
 
 	switch in.Op {
@@ -362,13 +508,17 @@ func (sm *SM) issueTick(cycle int64) {
 			sm.nextLaunch++
 			wc.wid = wid
 			wc.walker = kernel.NewWalker(&sm.kern.Program, wid)
-			wc.nextIssue = cycle + int64(sm.cfg.PipelineDepth)
+			sm.scheduleIssue(w, cycle, cycle+int64(sm.cfg.PipelineDepth))
+			sm.refreshInstMasks(w)
 			sm.Sched.OnWarpRelaunched(w)
 		} else {
 			wc.done = true
+			sm.doneM = sm.doneM.Set(w)
 			sm.alive--
 			sm.Sched.OnWarpFinished(w)
 		}
+	} else if !wc.done {
+		sm.refreshInstMasks(w)
 	}
 }
 
@@ -386,6 +536,13 @@ func (sm *SM) issueMemOp(w arch.WarpID, wc *warpCtx, in *kernel.Inst, kind arch.
 		if sm.CollectLoadStats {
 			sm.recordLoad(in.PC, wc.wid, sm.laneBuf[0], len(sm.lineBuf))
 		}
+	}
+	if sm.lsuHead > 0 && len(sm.lsuQ)+len(sm.lineBuf) > cap(sm.lsuQ) {
+		// Compact before growing so the queue reuses its array instead of
+		// reallocating every few thousand operations.
+		n := copy(sm.lsuQ, sm.lsuQ[sm.lsuHead:])
+		sm.lsuQ = sm.lsuQ[:n]
+		sm.lsuHead = 0
 	}
 	for i, l := range sm.lineBuf {
 		op := lsuOp{
@@ -407,28 +564,33 @@ func (sm *SM) issueMemOp(w arch.WarpID, wc *warpCtx, in *kernel.Inst, kind arch.
 			wc.outstanding++
 		}
 	}
+	if wc.outstanding > 0 {
+		sm.outM = sm.outM.Set(w)
+	}
 }
 
 // lsuTick processes one demand operation and one queued prefetch per cycle
 // (the prefetcher has its own L1 injection port so demand bursts cannot
 // starve it into always-late prefetches).
 func (sm *SM) lsuTick(cycle int64) {
-	if len(sm.lsuQ) > 0 {
-		op := sm.lsuQ[0]
+	if sm.lsuHead < len(sm.lsuQ) {
+		op := sm.lsuQ[sm.lsuHead]
 		if sm.processDemand(op, cycle) {
-			sm.lsuQ = sm.lsuQ[1:]
-			if len(sm.lsuQ) == 0 {
-				sm.lsuQ = nil
+			sm.lsuHead++
+			if sm.lsuHead == len(sm.lsuQ) {
+				sm.lsuQ = sm.lsuQ[:0]
+				sm.lsuHead = 0
 			}
 		}
 	}
-	if len(sm.pfQ) > 0 {
-		r := sm.pfQ[0]
+	if sm.pfHead < len(sm.pfQ) {
+		r := sm.pfQ[sm.pfHead]
 		if sm.processPrefetch(r, cycle) {
 			delete(sm.pfQueued, r.Addr.Line())
-			sm.pfQ = sm.pfQ[1:]
-			if len(sm.pfQ) == 0 {
-				sm.pfQ = nil
+			sm.pfHead++
+			if sm.pfHead == len(sm.pfQ) {
+				sm.pfQ = sm.pfQ[:0]
+				sm.pfHead = 0
 			}
 		}
 	}
@@ -458,6 +620,11 @@ func (sm *SM) processDemand(op lsuOp, cycle int64) bool {
 		if out.FirstUseOfPrefetch {
 			sm.st.PrefetchUseful++
 			sm.notePrefetchOutcome(out.PrefetchPC, true)
+		}
+		if sm.compHead > 0 && len(sm.completions) == cap(sm.completions) {
+			n := copy(sm.completions, sm.completions[sm.compHead:])
+			sm.completions = sm.completions[:n]
+			sm.compHead = 0
 		}
 		sm.completions = append(sm.completions, completion{
 			cycle: cycle + int64(sm.cfg.L1HitLatency),
@@ -511,12 +678,16 @@ func (sm *SM) onLeadResult(op lsuOp, hit bool, cycle int64) {
 		if !hit && group != 0 {
 			// PT lookup + WQ/DRQ writes.
 			sm.st.APRESTableAccesses += 3
-			targets := make([]prefetch.Target, 0, group.Count())
-			for _, slot := range group.Warps() {
-				if int(slot) < len(sm.warps) && !sm.warps[slot].done {
-					targets = append(targets, prefetch.Target{Slot: slot, Wid: sm.warps[slot].wid})
+			// SAP never retains the targets slice, so one buffer serves
+			// every group miss.
+			targets := sm.targetBuf[:0]
+			for i := range sm.warps {
+				slot := arch.WarpID(i)
+				if group.Has(slot) && !sm.warps[i].done {
+					targets = append(targets, prefetch.Target{Slot: slot, Wid: sm.warps[i].wid})
 				}
 			}
+			sm.targetBuf = targets
 			reqs := sm.sap.OnGroupMiss(op.req.PC, op.wid, op.addr, targets, cycle)
 			if len(reqs) > 0 {
 				var targets arch.WarpMask
@@ -552,11 +723,16 @@ func (sm *SM) enqueuePrefetches(reqs []prefetch.Request) {
 			sm.st.PrefetchDropped++
 			continue
 		}
-		if len(sm.pfQ) >= pfQueueMax {
+		if sm.pfLen() >= pfQueueMax {
 			sm.st.PrefetchDropped++
 			continue
 		}
 		sm.pfQueued[line] = struct{}{}
+		if sm.pfHead > 0 && len(sm.pfQ) == cap(sm.pfQ) {
+			n := copy(sm.pfQ, sm.pfQ[sm.pfHead:])
+			sm.pfQ = sm.pfQ[:n]
+			sm.pfHead = 0
+		}
 		sm.pfQ = append(sm.pfQ, r)
 	}
 }
@@ -638,3 +814,4 @@ func (sm *SM) recordLoad(pc arch.PC, w arch.WarpID, addr arch.Addr, lines int) {
 func (sm *SM) FinalizePrefetchStats() {
 	sm.st.PrefetchUseless += int64(sm.l1.UnresolvedEarlyEvictions())
 }
+

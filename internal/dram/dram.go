@@ -13,8 +13,6 @@
 package dram
 
 import (
-	"container/heap"
-
 	"apres/internal/arch"
 	"apres/internal/config"
 	"apres/internal/mem"
@@ -46,18 +44,56 @@ type event struct {
 	req       arch.MemReq // for evL2Hit
 }
 
+// eventHeap is a hand-rolled binary min-heap ordered by (cycle, seq).
+// container/heap would box every event through its interface{} methods —
+// one allocation per push and pop on the simulator's hottest path — so the
+// sift operations are written out against the concrete slice instead.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].cycle != h[j].cycle {
 		return h[i].cycle < h[j].cycle
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)    { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)      { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any        { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+func (h *eventHeap) push(e event) {
+	s := append(*h, e)
+	for i := len(s) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !s.less(i, p) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+	*h = s
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	for i := 0; ; {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && s.less(c+1, c) {
+			c++
+		}
+		if !s.less(c, i) {
+			break
+		}
+		s[i], s[c] = s[c], s[i]
+		i = c
+	}
+	*h = s
+	return top
+}
+
 func (h eventHeap) peekCycle() int64 { return h[0].cycle }
 func (h eventHeap) empty() bool      { return len(h) == 0 }
 
@@ -144,7 +180,7 @@ func (m *MemSystem) access(p int, req arch.MemReq, cycle int64) {
 func (m *MemSystem) push(e event) {
 	e.seq = m.seq
 	m.seq++
-	heap.Push(&m.events, e)
+	m.events.push(e)
 }
 
 // Tick advances the memory system to the given cycle and returns the
@@ -168,7 +204,7 @@ func (m *MemSystem) Tick(cycle int64) []Response {
 		pt.pending = pt.pending[:n]
 	}
 	for !m.events.empty() && m.events.peekCycle() <= cycle {
-		e := heap.Pop(&m.events).(event)
+		e := m.events.pop()
 		switch e.kind {
 		case evL2Hit:
 			m.responses = append(m.responses, Response{Req: e.req, ReadyCycle: e.cycle})
@@ -184,6 +220,25 @@ func (m *MemSystem) Tick(cycle int64) []Response {
 		}
 	}
 	return m.responses
+}
+
+// NextEventCycle returns the earliest cycle after cycle at which Tick
+// would do any work — the event heap's head, or cycle+1 when an
+// MSHR-stalled request could retry into a freed entry — or -1 when the
+// system has nothing scheduled. The event-driven loop uses it as one of
+// the bounds on how far the clock may skip. peekCycle is O(1): the heap
+// already exists for event ordering, so fast-forwarding is free here.
+func (m *MemSystem) NextEventCycle(cycle int64) int64 {
+	for i := range m.parts {
+		pt := &m.parts[i]
+		if len(pt.pending) > 0 && pt.l2.MSHRCount() < pt.l2.MSHRMax() {
+			return cycle + 1
+		}
+	}
+	if m.events.empty() {
+		return -1
+	}
+	return m.events.peekCycle()
 }
 
 // Drained reports whether no events or pending requests remain.

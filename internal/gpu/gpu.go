@@ -70,6 +70,15 @@ type GPU struct {
 	collectLoadStats bool
 	timelineInterval int64
 	timeline         []TimelinePoint
+	noSkip           bool
+
+	// wake caches each SM's NextWakeup bound from its last Tick. On any
+	// cycle before wake[i] with no NoC delivery, SM i provably does
+	// nothing but record one issue stall, so the loop accounts that
+	// directly instead of paying the full warp scan in Tick. The cache
+	// stays valid between Ticks because only a delivery (which refreshes
+	// it) can change the SM's state from outside.
+	wake []int64
 }
 
 // Option customises a GPU before it runs.
@@ -90,6 +99,15 @@ func WithTimeline(interval int64) Option {
 	}
 }
 
+// WithoutCycleSkipping forces the run loop to tick every cycle instead of
+// event-driven fast-forwarding over provably idle ones. Results are
+// bit-identical either way (the equivalence tests enforce it); this exists
+// for those tests, for benchmarking the skip win, and as an escape hatch
+// when debugging the timing model cycle by cycle.
+func WithoutCycleSkipping() Option {
+	return func(g *GPU) { g.noSkip = true }
+}
+
 // New builds a GPU running kern on every SM.
 func New(cfg config.Config, kern kernel.Kernel, opts ...Option) (*GPU, error) {
 	if err := cfg.Validate(); err != nil {
@@ -105,6 +123,7 @@ func New(cfg config.Config, kern kernel.Kernel, opts ...Option) (*GPU, error) {
 	g.memSys = dram.New(cfg, &g.shared)
 	g.net = noc.New(cfg.NumSMs, cfg.NoCBytesPerCycle, &g.shared)
 	g.smStats = make([]stats.Stats, cfg.NumSMs)
+	g.wake = make([]int64, cfg.NumSMs)
 	g.sms = make([]*core.SM, cfg.NumSMs)
 	for i := 0; i < cfg.NumSMs; i++ {
 		sm, err := core.NewSM(i, cfg, kern, g.memSys, &g.smStats[i])
@@ -135,6 +154,13 @@ const ctxCheckInterval = 4096
 // polls ctx every few thousand cycles and abandons the run — returning
 // ctx's error and a zero Result — when it is cancelled. This is how the
 // daemon enforces per-request timeouts on long simulations.
+//
+// The loop is event-driven: after each executed cycle it asks every
+// component for its next interesting cycle and, when that lies more than
+// one cycle ahead, jumps the clock straight there (see skipTo for why the
+// jump is observationally invisible). Busy phases — any SM with a ready
+// warp or queued LSU/prefetch work — report "next cycle" and run
+// cycle-by-cycle exactly as before.
 func (g *GPU) RunContext(ctx context.Context, kernName string) (Result, error) {
 	maxCycles := g.cfg.MaxCycles
 	if maxCycles <= 0 {
@@ -142,41 +168,58 @@ func (g *GPU) RunContext(ctx context.Context, kernName string) (Result, error) {
 	}
 	done := ctx.Done()
 	var cycle int64
+	// nextCtxCheck makes the poll skip-aware: fast-forwarding jumps over
+	// most multiples of ctxCheckInterval, so the modulo test of the old
+	// cycle-by-cycle loop could starve cancellation; a threshold fires on
+	// the first executed cycle at or past each checkpoint instead.
+	var nextCtxCheck int64
 	hitMax := false
 	for ; ; cycle++ {
 		if cycle >= maxCycles {
 			hitMax = true
 			break
 		}
-		if done != nil && cycle%ctxCheckInterval == 0 {
+		if done != nil && cycle >= nextCtxCheck {
 			select {
 			case <-done:
 				return Result{}, fmt.Errorf("gpu: %s cancelled at cycle %d: %w", kernName, cycle, ctx.Err())
 			default:
 			}
+			nextCtxCheck = cycle + ctxCheckInterval
 		}
 		for _, r := range g.memSys.Tick(cycle) {
 			g.net.Enqueue(r)
 		}
 		allDone := true
 		for i, sm := range g.sms {
-			for _, r := range g.net.Deliver(i, cycle) {
+			resp := g.net.Deliver(i, cycle)
+			for _, r := range resp {
 				sm.HandleFill(r, cycle)
 			}
-			if !sm.Done() {
-				sm.Tick(cycle)
-				allDone = false
+			if sm.Done() {
+				continue
+			}
+			allDone = false
+			if !g.noSkip && len(resp) == 0 && g.wake[i] > cycle {
+				// The SM's cached wakeup bound proves this cycle is an
+				// issue stall and nothing else; account it without the
+				// full Tick (see skipTo for the invisibility argument).
+				sm.SkipIdle(cycle, cycle)
+				continue
+			}
+			sm.Tick(cycle)
+			if !g.noSkip {
+				g.wake[i] = sm.NextWakeup(cycle)
 			}
 		}
 		if g.timelineInterval > 0 && cycle%g.timelineInterval == 0 {
-			var insts int64
-			for i := range g.smStats {
-				insts += g.smStats[i].Instructions
-			}
-			g.timeline = append(g.timeline, TimelinePoint{Cycle: cycle, Instructions: insts})
+			g.sampleTimeline(cycle)
 		}
 		if allDone && g.memSys.Drained() && !g.net.Pending() {
 			break
+		}
+		if !g.noSkip {
+			cycle = g.skipTo(cycle, maxCycles)
 		}
 	}
 
@@ -199,6 +242,79 @@ func (g *GPU) RunContext(ctx context.Context, kernName string) (Result, error) {
 	}
 	res.Timeline = g.timeline
 	return res, nil
+}
+
+// skipTo implements event-driven fast-forwarding. Called after cycle's
+// work is complete, it computes the earliest future cycle at which any
+// component can act — an SM wakeup, the memory system's event heap, or a
+// NoC delivery (including credit refill) — and, if that leaves a gap,
+// accounts the gap and returns next-1 so the loop's increment lands
+// exactly on the next interesting cycle.
+//
+// The jump is observationally invisible because a skipped cycle is
+// provably inert for every component: the memory system has no due event
+// and no retryable stall, no response can reach an SM, and every live SM
+// would Tick into a no-op stall (no due completion, empty LSU/prefetch
+// queues, no issuable warp). The only architectural traces such a cycle
+// leaves in a cycle-by-cycle run are one issue-stall count and the cycle
+// stamp per live SM — SkipIdle writes both — plus any timeline samples
+// due in the gap, emitted here with the (unchanged) instruction count.
+func (g *GPU) skipTo(cycle, maxCycles int64) int64 {
+	next := maxCycles
+	anyLive := false
+	for i, sm := range g.sms {
+		if sm.Done() {
+			continue
+		}
+		anyLive = true
+		// The cached bound is fresh for SMs that Ticked this cycle and
+		// still valid (> cycle) for ones that skipped it.
+		w := g.wake[i]
+		if w <= cycle+1 {
+			return cycle // an SM is busy: no skip
+		}
+		if w < next {
+			next = w
+		}
+	}
+	if !anyLive && g.memSys.Drained() && !g.net.Pending() {
+		// The run just finished: the last SM went Done during this very
+		// cycle's Tick, so the loop's break predicate (computed before the
+		// Tick) has not observed it yet. The cycle-by-cycle loop runs one
+		// more iteration and breaks there; skipping would overshoot the
+		// final cycle count.
+		return cycle
+	}
+	if t := g.memSys.NextEventCycle(cycle); t >= 0 && t < next {
+		next = t
+	}
+	if t := g.net.NextDeliveryCycle(cycle); t >= 0 && t < next {
+		next = t
+	}
+	if next <= cycle+1 {
+		return cycle
+	}
+	from, to := cycle+1, next-1
+	for _, sm := range g.sms {
+		if !sm.Done() {
+			sm.SkipIdle(from, to)
+		}
+	}
+	if iv := g.timelineInterval; iv > 0 {
+		for m := from + (iv-from%iv)%iv; m <= to; m += iv {
+			g.sampleTimeline(m)
+		}
+	}
+	return to
+}
+
+// sampleTimeline appends one progress sample at the given cycle.
+func (g *GPU) sampleTimeline(cycle int64) {
+	var insts int64
+	for i := range g.smStats {
+		insts += g.smStats[i].Instructions
+	}
+	g.timeline = append(g.timeline, TimelinePoint{Cycle: cycle, Instructions: insts})
 }
 
 // Simulate is the one-call convenience API: build a GPU for cfg and kern,

@@ -1,0 +1,78 @@
+package gpu
+
+import (
+	"reflect"
+	"testing"
+
+	"apres/internal/config"
+	"apres/internal/workloads"
+)
+
+// equivScale keeps the 15x3x2 run matrix fast while still exercising every
+// workload's access patterns and every scheduler/prefetcher interaction.
+const equivScale = 0.05
+
+// equivConfigs are the three run modes the equivalence matrix covers: the
+// plain baseline, the full APRES coupling (LAWS+SAP), and CCWS (the
+// scheduler whose lazy score decay is the most delicate interaction with
+// cycle skipping).
+func equivConfigs() []struct {
+	name string
+	cfg  config.Config
+} {
+	return []struct {
+		name string
+		cfg  config.Config
+	}{
+		{"base", config.Baseline()},
+		{"apres", config.APRES()},
+		{"ccws", config.Baseline().WithScheduler(config.SchedCCWS)},
+	}
+}
+
+// TestSkipEquivalence is the tentpole guarantee of the event-driven run
+// loop: for every workload and configuration, a run with cycle skipping
+// enabled must produce a Result bit-identical to the cycle-by-cycle run —
+// same cycles, same per-SM stats, same timeline samples, same per-PC load
+// characterisation. Any divergence means a skipped cycle was not actually
+// inert, which is a correctness bug in a NextWakeup/NextEventCycle/
+// NextDeliveryCycle bound, never an acceptable drift.
+func TestSkipEquivalence(t *testing.T) {
+	for _, w := range workloads.All() {
+		for _, cc := range equivConfigs() {
+			w, cc := w, cc
+			t.Run(w.Name()+"/"+cc.name, func(t *testing.T) {
+				t.Parallel()
+				cfg := cc.cfg
+				cfg.NumSMs = 2
+				kern := w.Kernel.Scaled(equivScale)
+				opts := []Option{WithTimeline(64), WithLoadStats()}
+				skip, err := Simulate(cfg, kern, opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				noskip, err := Simulate(cfg, kern, append(opts, WithoutCycleSkipping())...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if skip.Cycles != noskip.Cycles {
+					t.Fatalf("cycles diverge: skip=%d noskip=%d", skip.Cycles, noskip.Cycles)
+				}
+				if !reflect.DeepEqual(skip.Total, noskip.Total) {
+					t.Fatalf("aggregate stats diverge:\nskip:   %+v\nnoskip: %+v", skip.Total, noskip.Total)
+				}
+				if !reflect.DeepEqual(skip.PerSM, noskip.PerSM) {
+					t.Fatalf("per-SM stats diverge:\nskip:   %+v\nnoskip: %+v", skip.PerSM, noskip.PerSM)
+				}
+				if !reflect.DeepEqual(skip.Timeline, noskip.Timeline) {
+					t.Fatalf("timelines diverge: skip has %d samples, noskip %d\nskip:   %+v\nnoskip: %+v",
+						len(skip.Timeline), len(noskip.Timeline), skip.Timeline, noskip.Timeline)
+				}
+				if !reflect.DeepEqual(skip, noskip) {
+					t.Fatalf("results diverge outside the fields above (LoadStats or flags):\nskip:   %+v\nnoskip: %+v",
+						skip, noskip)
+				}
+			})
+		}
+	}
+}

@@ -115,6 +115,14 @@ type Cache struct {
 
 	mshrMax int
 	mshr    map[arch.LineAddr]*MSHREntry
+	// retired holds entries removed from mshr by Fill whose caller may
+	// still be reading them; the next Access or Fill moves them to free
+	// for reuse. Entries are never retained across cache calls (both the
+	// SM and the memory system consume Waiters synchronously), so this
+	// two-stage recycling makes misses allocation-free at steady state
+	// while keeping the just-returned entry intact.
+	retired []*MSHREntry
+	free    []*MSHREntry
 
 	// everSeen supports cold vs capacity+conflict classification.
 	everSeen map[arch.LineAddr]struct{}
@@ -213,6 +221,7 @@ func (c *Cache) InFlight(l arch.LineAddr) bool {
 // dropped (Result Hit / MergedMSHR, which callers count as
 // PrefetchDropped); otherwise it allocates a prefetch-flagged MSHR entry.
 func (c *Cache) Access(req arch.MemReq, cycle int64) Outcome {
+	c.recycleRetired()
 	isDemand := req.Kind != arch.AccessPrefetch || c.prefetchAsDemand
 	if ln := c.lookup(req.Line); ln != nil {
 		out := Outcome{Result: arch.ResultHit}
@@ -243,12 +252,14 @@ func (c *Cache) Access(req arch.MemReq, cycle int64) Outcome {
 	if len(c.mshr) >= c.mshrMax {
 		return Outcome{Result: arch.ResultStall}
 	}
-	e := &MSHREntry{
+	e := c.newEntry()
+	*e = MSHREntry{
 		Line:       req.Line,
 		Prefetch:   req.Kind == arch.AccessPrefetch,
 		Owner:      req.Warp,
 		PC:         req.PC,
 		IssueCycle: cycle,
+		Waiters:    e.Waiters[:0],
 	}
 	out := Outcome{Result: arch.ResultMiss, Entry: e}
 	if isDemand {
@@ -285,31 +296,56 @@ func (c *Cache) LastDemandWasHit() (hit, known bool) {
 	return c.lastDemandWasHit, c.hasLastDemand
 }
 
+// recycleRetired moves entries whose Fill outcome has been consumed onto
+// the free list. Safe to call at the top of Access and Fill: the simulator
+// is single-threaded and no caller holds an MSHR entry across cache calls.
+func (c *Cache) recycleRetired() {
+	if len(c.retired) == 0 {
+		return
+	}
+	c.free = append(c.free, c.retired...)
+	c.retired = c.retired[:0]
+}
+
+// newEntry takes an entry from the free list or allocates a fresh one. The
+// caller overwrites every field (reusing the Waiters array).
+func (c *Cache) newEntry() *MSHREntry {
+	if n := len(c.free); n > 0 {
+		e := c.free[n-1]
+		c.free = c.free[:n-1]
+		return e
+	}
+	return &MSHREntry{}
+}
+
 // Fill delivers line l from the next level: the completed MSHR entry is
 // removed and returned, and the line is installed, evicting the LRU victim.
 func (c *Cache) Fill(l arch.LineAddr, cycle int64) FillOutcome {
+	c.recycleRetired()
 	var out FillOutcome
 	e := c.mshr[l]
 	if e != nil {
 		delete(c.mshr, l)
+		c.retired = append(c.retired, e)
 		out.Entry = e
 		out.PrefetchPC = e.PC
 		if e.Prefetch && e.DemandMerged {
 			out.PrefetchCompletedUseful = true
 		}
 	}
-	if c.lookup(l) != nil {
-		// Already resident (e.g. a racing fill); nothing to install.
-		return out
-	}
+	// One pass over the set finds both a resident copy (e.g. a racing
+	// fill — nothing to install) and the LRU victim; Fill is on the
+	// per-response hot path, so the set is not scanned twice.
 	set := c.set(l)
 	victim := &set[0]
 	for i := range set {
-		if !set[i].valid {
-			victim = &set[i]
-			break
+		if set[i].valid && set[i].tag == l {
+			return out
 		}
-		if set[i].lastUse < victim.lastUse {
+		if !victim.valid {
+			continue
+		}
+		if !set[i].valid || set[i].lastUse < victim.lastUse {
 			victim = &set[i]
 		}
 	}
@@ -358,6 +394,8 @@ func (c *Cache) Reset() {
 	c.mshr = make(map[arch.LineAddr]*MSHREntry)
 	c.everSeen = make(map[arch.LineAddr]struct{})
 	c.evictedUnusedPF = make(map[arch.LineAddr]struct{})
+	c.retired = c.retired[:0]
+	c.free = c.free[:0]
 	c.hasLastDemand = false
 	c.lastDemandWasHit = false
 }

@@ -14,58 +14,139 @@ import (
 // unbounded delivery burst.
 const maxCreditLines = 4
 
+// maxCreditBytes is the banked-bandwidth cap in bytes.
+const maxCreditBytes = maxCreditLines * arch.LineSizeBytes
+
+// smQueue is one SM's response FIFO. Delivered responses advance head
+// instead of re-slicing so the backing array is reused once the queue
+// drains (the simulator's hot path must not allocate per cycle).
+type smQueue struct {
+	buf  []dram.Response
+	head int
+}
+
 // Network delivers memory responses to SMs with per-SM bandwidth limits.
 type Network struct {
 	bytesPerCycle int
-	queues        [][]dram.Response // per SM, FIFO in ReadyCycle order
+	queues        []smQueue
 	credit        []int
-	st            *stats.Stats
+	// creditCycle is the cycle each SM's credit was last banked; Deliver
+	// banks credit for all elapsed cycles since, so the event-driven loop
+	// may skip idle cycles without changing delivery timing.
+	creditCycle []int64
+	// pending counts undelivered responses across all queues, so
+	// Pending() is O(1) instead of an O(numSMs) scan per cycle.
+	pending int
+	st      *stats.Stats
 }
 
 // New builds a network for numSMs SMs with the given per-SM response
 // bandwidth in bytes per cycle.
 func New(numSMs, bytesPerCycle int, st *stats.Stats) *Network {
-	return &Network{
+	n := &Network{
 		bytesPerCycle: bytesPerCycle,
-		queues:        make([][]dram.Response, numSMs),
+		queues:        make([]smQueue, numSMs),
 		credit:        make([]int, numSMs),
+		creditCycle:   make([]int64, numSMs),
 		st:            st,
 	}
+	for i := range n.creditCycle {
+		n.creditCycle[i] = -1 // first Deliver at cycle 0 banks one cycle
+	}
+	return n
 }
 
 // Enqueue routes a completed response toward its SM.
 func (n *Network) Enqueue(r dram.Response) {
-	n.queues[r.Req.SM] = append(n.queues[r.Req.SM], r)
+	q := &n.queues[r.Req.SM]
+	if q.head > 0 && len(q.buf) == cap(q.buf) {
+		// Compact before growing so partially drained queues reuse their
+		// array instead of reallocating forever.
+		m := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:m]
+		q.head = 0
+	}
+	q.buf = append(q.buf, r)
+	n.pending++
+}
+
+// bankCredit accrues bandwidth credit for every cycle elapsed since the
+// SM's last delivery opportunity, capped at maxCreditBytes. Banking by
+// elapsed cycles is exactly equivalent to the per-cycle accrual of a
+// cycle-by-cycle loop: credit only ever grows between Deliver calls, so
+// applying the cap once at the end equals applying it every cycle.
+func (n *Network) bankCredit(sm int, cycle int64) {
+	gap := cycle - n.creditCycle[sm]
+	n.creditCycle[sm] = cycle
+	if gap <= 0 {
+		return
+	}
+	// Saturation guard first: keeps int(gap)*bytesPerCycle far from
+	// overflow for arbitrarily long skips.
+	if gap > int64(maxCreditBytes/n.bytesPerCycle) {
+		n.credit[sm] = maxCreditBytes
+		return
+	}
+	c := n.credit[sm] + int(gap)*n.bytesPerCycle
+	if c > maxCreditBytes {
+		c = maxCreditBytes
+	}
+	n.credit[sm] = c
 }
 
 // Deliver returns the responses that reach SM sm at the given cycle, limited
 // by the SM's accumulated bandwidth credit. The returned slice is only valid
-// until the next Deliver call for the same SM.
+// until the next Enqueue or Deliver call for the same SM.
 func (n *Network) Deliver(sm int, cycle int64) []dram.Response {
-	n.credit[sm] += n.bytesPerCycle
-	if maxBytes := maxCreditLines * arch.LineSizeBytes; n.credit[sm] > maxBytes {
-		n.credit[sm] = maxBytes
-	}
-	q := n.queues[sm]
+	n.bankCredit(sm, cycle)
+	q := &n.queues[sm]
+	pend := q.buf[q.head:]
 	delivered := 0
-	for delivered < len(q) &&
-		q[delivered].ReadyCycle <= cycle &&
+	for delivered < len(pend) &&
+		pend[delivered].ReadyCycle <= cycle &&
 		n.credit[sm] >= arch.LineSizeBytes {
 		n.credit[sm] -= arch.LineSizeBytes
 		n.st.BytesToSM += arch.LineSizeBytes
 		delivered++
 	}
-	out := q[:delivered]
-	n.queues[sm] = q[delivered:]
-	return out
+	q.head += delivered
+	n.pending -= delivered
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return pend[:delivered]
 }
 
 // Pending reports whether any responses remain undelivered.
-func (n *Network) Pending() bool {
-	for _, q := range n.queues {
-		if len(q) > 0 {
-			return true
+func (n *Network) Pending() bool { return n.pending > 0 }
+
+// NextDeliveryCycle returns the earliest cycle after cycle at which any
+// queued response could reach its SM, accounting for both the head
+// response's ReadyCycle and the credit its SM still has to bank, or -1
+// when no responses are queued. The event-driven loop uses it as one of
+// the bounds on how far the clock may skip; it may be conservative
+// (early), never late.
+func (n *Network) NextDeliveryCycle(cycle int64) int64 {
+	next := int64(-1)
+	for sm := range n.queues {
+		q := &n.queues[sm]
+		if q.head == len(q.buf) {
+			continue
+		}
+		t := q.buf[q.head].ReadyCycle
+		if deficit := arch.LineSizeBytes - n.credit[sm]; deficit > 0 {
+			per := n.bytesPerCycle
+			if tc := n.creditCycle[sm] + int64((deficit+per-1)/per); tc > t {
+				t = tc
+			}
+		}
+		if t <= cycle+1 {
+			return cycle + 1
+		}
+		if next < 0 || t < next {
+			next = t
 		}
 	}
-	return false
+	return next
 }

@@ -32,8 +32,9 @@ func TestBandwidthLimit(t *testing.T) {
 		n.Enqueue(resp(0, 0))
 	}
 	delivered := 0
-	// Drain any banked credit first.
-	n.credit[0] = 0
+	// Drain any banked credit first (pinning creditCycle so the gap to
+	// the next Deliver does not re-bank what we just drained).
+	n.credit[0], n.creditCycle[0] = 0, 0
 	for cyc := int64(1); cyc <= 12; cyc++ {
 		delivered += len(n.Deliver(0, cyc))
 	}
@@ -44,7 +45,7 @@ func TestBandwidthLimit(t *testing.T) {
 	// with empty credit.
 	n.Enqueue(resp(0, 0))
 	n.Enqueue(resp(0, 0))
-	n.credit[0] = 0
+	n.credit[0], n.creditCycle[0] = 0, 99
 	first := len(n.Deliver(0, 100)) + len(n.Deliver(0, 101)) + len(n.Deliver(0, 102))
 	if first > 1 {
 		t.Fatalf("delivered %d lines in 3 cycles at 32 B/cycle, want <=1", first)
@@ -87,5 +88,108 @@ func TestTrafficCounting(t *testing.T) {
 	n.Deliver(0, 1)
 	if st.BytesToSM != 2*arch.LineSizeBytes {
 		t.Fatalf("BytesToSM = %d, want %d", st.BytesToSM, 2*arch.LineSizeBytes)
+	}
+}
+
+// TestCreditBankingAcrossGaps pins the event-driven contract: calling
+// Deliver only at sparse cycles must bank exactly the credit a
+// cycle-by-cycle caller would have accrued (capped), so skipping idle
+// cycles cannot change delivery timing.
+func TestCreditBankingAcrossGaps(t *testing.T) {
+	var stA, stB stats.Stats
+	// 32 B/cycle: one 128 B line per 4 cycles, cap 4 lines (16 cycles).
+	perCycle := New(1, 32, &stA)
+	gapped := New(1, 32, &stB)
+	for i := 0; i < 6; i++ {
+		perCycle.Enqueue(resp(0, 5))
+		gapped.Enqueue(resp(0, 5))
+	}
+	// The per-cycle caller visits every cycle; the gapped caller jumps
+	// straight to the cycles NextDeliveryCycle reports, exactly as the
+	// event-driven loop does.
+	var gotA, gotB []int64
+	for cyc := int64(0); cyc <= 40; cyc++ {
+		for range perCycle.Deliver(0, cyc) {
+			gotA = append(gotA, cyc)
+		}
+	}
+	for cyc := int64(0); gapped.Pending(); {
+		for range gapped.Deliver(0, cyc) {
+			gotB = append(gotB, cyc)
+		}
+		next := gapped.NextDeliveryCycle(cyc)
+		if gapped.Pending() && next <= cyc {
+			t.Fatalf("NextDeliveryCycle(%d) = %d with responses pending", cyc, next)
+		}
+		cyc = next
+	}
+	if len(gotA) != 6 || len(gotB) != 6 {
+		t.Fatalf("delivered per-cycle=%d gapped=%d lines, want 6 each", len(gotA), len(gotB))
+	}
+	for i := range gotA {
+		if gotA[i] != gotB[i] {
+			t.Fatalf("delivery %d: per-cycle at %d, gapped at %d", i, gotA[i], gotB[i])
+		}
+	}
+	// A very long gap must still saturate at the cap, not overflow.
+	gapped.Enqueue(resp(0, 0))
+	if got := gapped.Deliver(0, 1<<60); len(got) != 1 {
+		t.Fatalf("delivered %d after huge gap, want 1", len(got))
+	}
+	if gapped.credit[0] > maxCreditBytes {
+		t.Fatalf("credit %d exceeds cap after huge gap", gapped.credit[0])
+	}
+}
+
+// TestPendingCounter checks the O(1) pending counter against queue state
+// through interleaved enqueues and partial deliveries.
+func TestPendingCounter(t *testing.T) {
+	var st stats.Stats
+	n := New(2, 32, &st) // 1 line / 4 cycles so drains are partial
+	if n.Pending() {
+		t.Fatal("empty network reports Pending")
+	}
+	n.Enqueue(resp(0, 0))
+	n.Enqueue(resp(0, 0))
+	n.Enqueue(resp(1, 0))
+	left := 3
+	for cyc := int64(0); cyc < 20 && n.Pending(); cyc++ {
+		left -= len(n.Deliver(0, cyc)) + len(n.Deliver(1, cyc))
+		if (left > 0) != n.Pending() {
+			t.Fatalf("cycle %d: %d undelivered but Pending()=%v", cyc, left, n.Pending())
+		}
+	}
+	if left != 0 || n.Pending() {
+		t.Fatalf("after drain: left=%d Pending=%v", left, n.Pending())
+	}
+}
+
+// TestNextDeliveryCycle checks the skip bound: it must never be later than
+// the first cycle a per-cycle caller would see a delivery.
+func TestNextDeliveryCycle(t *testing.T) {
+	var st stats.Stats
+	n := New(2, 32, &st)
+	if got := n.NextDeliveryCycle(0); got != -1 {
+		t.Fatalf("empty network NextDeliveryCycle = %d, want -1", got)
+	}
+	// SM0's head is ready far in the future with credit already full.
+	n.Enqueue(resp(0, 100))
+	n.Deliver(0, 20) // banks credit to the cap
+	if got := n.NextDeliveryCycle(20); got != 100 {
+		t.Fatalf("NextDeliveryCycle = %d, want 100 (ready bound)", got)
+	}
+	// SM1's head is long ready but the SM is credit-starved: its bound is
+	// the credit refill, and it wins the cross-SM minimum.
+	n.Enqueue(resp(1, 0))
+	n.credit[1], n.creditCycle[1] = 0, 20
+	next := n.NextDeliveryCycle(20)
+	if next != 24 { // 128 B deficit at 32 B/cycle from cycle 20
+		t.Fatalf("NextDeliveryCycle = %d, want 24 (credit bound)", next)
+	}
+	if got := n.Deliver(1, next-1); len(got) != 0 {
+		t.Fatalf("delivered %d before the reported bound", len(got))
+	}
+	if got := n.Deliver(1, next); len(got) != 1 {
+		t.Fatalf("delivered %d at the reported bound, want 1", len(got))
 	}
 }

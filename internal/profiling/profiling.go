@@ -1,0 +1,50 @@
+// Package profiling wires Go's pprof profilers into the command-line
+// tools. The simulator's hot loop is pure CPU work, so a CPU profile plus
+// an allocation profile answers nearly every "why is this experiment
+// slow?" question; see EXPERIMENTS.md for the recipe.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath and arranges an allocation profile
+// at memPath; either path may be empty to skip that profile. The returned
+// stop function flushes and closes the profiles and must run on the way
+// out (note that os.Exit skips deferred calls, so error paths that exit
+// early simply lose the profile — acceptable for a diagnostic tool).
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: start CPU profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+				return
+			}
+			defer f.Close()
+			// Materialise up-to-date allocation counts before writing.
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: write alloc profile: %v\n", err)
+			}
+		}
+	}, nil
+}
