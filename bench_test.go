@@ -322,6 +322,36 @@ func BenchmarkFig10ByJobs(b *testing.B) {
 // forces the cycle-by-cycle loop, so the ratio is the fast-forwarding win
 // on memory-intensive workloads. BENCH_sim.json records the headline
 // numbers.
+// TestSimulatorAllocBudget guards the zero-allocation hot path: a full
+// simulation at bench scale must stay within a small fixed allocation
+// budget (BENCH_sim.json records ~3.9k for SP and ~6.1k for BFS, all from
+// one-time setup). A regression here means something on the per-cycle path
+// started allocating — including, per the tracing contract, any cost from
+// the disabled (nil) tracer.
+func TestSimulatorAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates allocation counts")
+	}
+	if testing.Short() {
+		t.Skip("full bench-scale simulations")
+	}
+	for app, budget := range map[string]float64{"SP": 4500, "BFS": 7000} {
+		w, ok := workloads.ByName(app)
+		if !ok {
+			t.Fatalf("unknown workload %s", app)
+		}
+		kern := w.Kernel.Scaled(benchScale)
+		allocs := testing.AllocsPerRun(1, func() {
+			if _, err := gpu.Simulate(config.Baseline(), kern); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > budget {
+			t.Errorf("%s: %.0f allocs/run, budget %.0f", app, allocs, budget)
+		}
+	}
+}
+
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	for _, app := range []string{"SP", "BFS"} {
 		w, ok := workloads.ByName(app)

@@ -12,8 +12,11 @@
 //	apresd -timeout 5m -drain 1m      # per-request sim budget, SIGTERM drain budget
 //
 // Endpoints: POST /v1/simulate, POST /v1/sweep, GET /v1/results/{key},
-// GET /healthz, GET /metrics (Prometheus text format). See README.md for
-// request examples. SIGTERM/SIGINT drain in-flight requests before exit.
+// GET /v1/traces/{id}, GET /healthz, GET /metrics (Prometheus text format).
+// POST /v1/simulate accepts "trace": true for a cycle-level trace artifact
+// written under -tracedir and served by GET /v1/traces/{id}. See README.md
+// for request examples. SIGTERM/SIGINT drain in-flight requests before
+// exit.
 package main
 
 import (
@@ -45,14 +48,16 @@ func defaultStoreDir() string {
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":7845", "listen address")
-		store   = flag.String("store", defaultStoreDir(), "result-store directory (empty = no persistence)")
-		memLRU  = flag.Int("store-mem", 512, "in-memory result-store front size in entries")
-		scale   = flag.Float64("scale", 1, "workload iteration scale factor")
-		sms     = flag.Int("sms", 0, "override number of SMs (0 = Table III value)")
-		jobs    = flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
-		timeout = flag.Duration("timeout", 10*time.Minute, "per-request simulation budget (0 = unbounded)")
-		drain   = flag.Duration("drain", 30*time.Second, "how long SIGTERM waits for in-flight requests")
+		addr     = flag.String("addr", ":7845", "listen address")
+		store    = flag.String("store", defaultStoreDir(), "result-store directory (empty = no persistence)")
+		memLRU   = flag.Int("store-mem", 512, "in-memory result-store front size in entries")
+		scale    = flag.Float64("scale", 1, "workload iteration scale factor")
+		sms      = flag.Int("sms", 0, "override number of SMs (0 = Table III value)")
+		jobs     = flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		timeout  = flag.Duration("timeout", 10*time.Minute, "per-request simulation budget (0 = unbounded)")
+		drain    = flag.Duration("drain", 30*time.Second, "how long SIGTERM waits for in-flight requests")
+		traceDir = flag.String("tracedir", filepath.Join(os.TempDir(), "apres-traces"),
+			"directory for trace artifacts from traced /v1/simulate requests (empty = disable tracing)")
 		showVer = flag.Bool("version", false, "print the simulator version stamp and exit")
 	)
 	flag.Parse()
@@ -75,7 +80,7 @@ func main() {
 		log.Printf("apresd: running without a persistent result store")
 	}
 
-	srv := server.New(server.Options{Runner: r, SimTimeout: *timeout})
+	srv := server.New(server.Options{Runner: r, SimTimeout: *timeout, TraceDir: *traceDir})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 

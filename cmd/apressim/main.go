@@ -8,6 +8,7 @@
 //	apressim -workload BFS,KM,SP -jobs 4     # fan out over a worker pool
 //	apressim -workload BFS -store ~/.cache/apres/resultstore
 //	apressim -workload BFS -server http://localhost:7845
+//	apressim -workload SP -apres -trace sp.json   # Perfetto trace + interval CSV
 //
 // With a comma-separated workload list the runs execute concurrently
 // (bounded by -jobs) and print in the order given, so output stays
@@ -39,6 +40,7 @@ import (
 	"apres/internal/profiling"
 	"apres/internal/resultstore"
 	"apres/internal/server"
+	"apres/internal/trace"
 	"apres/internal/version"
 	"apres/internal/workloads"
 )
@@ -60,6 +62,8 @@ func main() {
 		serverURL = flag.String("server", "", "delegate simulations to a running apresd at this base URL")
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
+		tracePath = flag.String("trace", "", "write a Chrome-trace/Perfetto JSON of the run to this file (single workload, local runs only)")
+		traceIv   = flag.Int64("trace-interval", 1000, "interval-sampler window in cycles for -trace")
 		showVer   = flag.Bool("version", false, "print the simulator version stamp and exit")
 	)
 	flag.Parse()
@@ -121,6 +125,28 @@ func main() {
 		os.Exit(1)
 	}
 
+	// A traced run executes exactly once with the tracer attached, so it
+	// only makes sense for a single local workload.
+	var tracer *trace.Tracer
+	var traceFile *os.File
+	if *tracePath != "" {
+		if len(names) != 1 {
+			fmt.Fprintln(os.Stderr, "-trace requires exactly one workload")
+			os.Exit(1)
+		}
+		if *serverURL != "" {
+			fmt.Fprintln(os.Stderr, "-trace runs locally; it cannot be combined with -server")
+			os.Exit(1)
+		}
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		traceFile = f
+		tracer = trace.New(trace.NewJSONSink(f), *traceIv)
+	}
+
 	// Local runs go through a harness.Runner: identical workloads in the
 	// list simulate once, concurrency is bounded by -jobs, and -store
 	// shares warm results with apresd and future invocations.
@@ -154,6 +180,11 @@ func main() {
 				outs[i] = outcome{res: res, elapsed: time.Since(t0), cached: cached, err: err}
 				return
 			}
+			if tracer != nil {
+				res, err := runner.RunTraced(context.Background(), w.Name(), cfg, *loadstats, tracer)
+				outs[i] = outcome{res: res, elapsed: time.Since(t0), err: err}
+				return
+			}
 			res, err := runner.RunConfig(context.Background(), w.Name(), cfg, *loadstats)
 			outs[i] = outcome{res: res, elapsed: time.Since(t0), err: err}
 		}(i, w)
@@ -166,6 +197,31 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", wls[i].Name(), o.err)
 			os.Exit(1)
 		}
+	}
+
+	if tracer != nil {
+		err := tracer.Close()
+		if cerr := traceFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		csvPath := strings.TrimSuffix(*tracePath, ".json") + ".intervals.csv"
+		cf, err := os.Create(csvPath)
+		if err == nil {
+			err = trace.WriteIntervalCSV(cf, tracer.Samples())
+			if cerr := cf.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing interval CSV: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events -> %s, %d interval samples -> %s\n",
+			tracer.Emitted(), *tracePath, len(tracer.Samples()), csvPath)
 	}
 
 	if *asJSON {

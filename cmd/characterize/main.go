@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"apres/internal/harness"
+	"apres/internal/profiling"
 	"apres/internal/version"
 )
 
@@ -27,9 +28,18 @@ func main() {
 		all     = flag.Bool("all", false, "characterise all 15 benchmarks")
 		scale   = flag.Float64("scale", 1, "workload iteration scale")
 		sms     = flag.Int("sms", 0, "override SM count")
+		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
 		showVer = flag.Bool("version", false, "print the simulator version stamp and exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	if *showVer {
 		fmt.Println(version.Stamp())

@@ -19,6 +19,7 @@ import (
 	"apres/internal/prefetch"
 	"apres/internal/sched"
 	"apres/internal/stats"
+	"apres/internal/trace"
 )
 
 // lsuQueueMax is the LSU input queue depth; issue of new memory
@@ -183,6 +184,16 @@ type SM struct {
 
 	st *stats.Stats
 
+	// tr is the trace sink (nil = tracing off). The issue/stall trackers
+	// below record the last emitted warp-level state so events fire only on
+	// transitions; the stall classifier is written against masks that are
+	// invariant across cycle-skipped gaps, so the event stream is identical
+	// whether idle cycles are executed or skipped.
+	tr            *trace.Tracer
+	trLastWarp    int32
+	trStalled     bool
+	trStallReason int64
+
 	// CollectLoadStats enables per-PC characterisation (Table I).
 	CollectLoadStats bool
 	loadStats        map[arch.PC]*LoadStat
@@ -247,6 +258,23 @@ func NewSM(id int, cfg config.Config, kern kernel.Kernel, memSys *dram.MemSystem
 		sm.pf = p
 	}
 	return sm, nil
+}
+
+// SetTracer attaches the trace sink to the SM and the components it owns
+// (L1, LAWS when the scheduler supports tracing, SAP). nil disables tracing
+// (the default).
+func (sm *SM) SetTracer(tr *trace.Tracer) {
+	sm.tr = tr
+	sm.trLastWarp = -1
+	sm.l1.SetTracer(tr, int32(sm.id))
+	if s, ok := sm.Sched.(interface {
+		SetTracer(*trace.Tracer, int32)
+	}); ok {
+		s.SetTracer(tr, int32(sm.id))
+	}
+	if sm.sap != nil {
+		sm.sap.SetTracer(tr, int32(sm.id))
+	}
 }
 
 // MemSaturated implements sched.View for MASCAR.
@@ -391,9 +419,17 @@ func (sm *SM) NextWakeup(cycle int64) int64 {
 // event-driven loop jumped over: the cycle-by-cycle loop would have
 // Ticked the SM through each one, found no ready warp, and recorded one
 // issue-stall cycle — nothing else in Tick can fire on an idle cycle.
+// Under tracing, that hypothetical Tick would also have run the stall
+// classifier, so the same transition event is emitted here (the caller has
+// advanced the tracer clock to the first skipped cycle); the reason is
+// gap-invariant (see stallReason), so one event covers the whole stretch
+// exactly as the transition filter would in the cycle-by-cycle loop.
 func (sm *SM) SkipIdle(from, to int64) {
 	sm.st.IssueStallCycles += to - from + 1
 	sm.st.Cycles = to + 1
+	if sm.tr != nil {
+		sm.traceStall(sm.stallReason())
+	}
 }
 
 // refreshInstMasks reclassifies warp w's next instruction into the
@@ -464,19 +500,67 @@ func (sm *SM) readyMask(cycle int64) arch.WarpMask {
 	return m
 }
 
+// stallReason classifies why no instruction issued this cycle. It reads
+// only masks that cannot change during a provably idle stretch (doneM,
+// memDepM, outM are touched only by issues, completions, and fills — all of
+// which bound NextWakeup), so the classification is constant across a
+// cycle-skipped gap and transition events stay identical between the
+// event-driven and cycle-by-cycle loops.
+func (sm *SM) stallReason() int64 {
+	live := sm.allM &^ sm.doneM
+	if live == 0 {
+		return trace.StallDrained
+	}
+	issuable := live &^ (sm.memDepM & sm.outM)
+	if issuable == 0 {
+		return trace.StallMemDep
+	}
+	if sm.readyTime&issuable != 0 {
+		// Delay-expired, non-blocked warps existed but readyMask removed
+		// them: only the LSU-full memory-op mask can have done that.
+		return trace.StallLSUFull
+	}
+	return trace.StallPipeline
+}
+
+// traceStall emits a warp_stall event when the SM enters a stall or its
+// stall reason changes.
+func (sm *SM) traceStall(reason int64) {
+	if sm.trStalled && sm.trStallReason == reason {
+		return
+	}
+	sm.trStalled = true
+	sm.trStallReason = reason
+	sm.trLastWarp = -1
+	sm.tr.Emit(trace.Event{Kind: trace.KindWarpStall, Unit: int32(sm.id),
+		Warp: -1, Arg: reason})
+}
+
 func (sm *SM) issueTick(cycle int64) {
 	ready := sm.readyMask(cycle)
 	if ready == 0 {
 		sm.st.IssueStallCycles++
+		if sm.tr != nil {
+			sm.traceStall(sm.stallReason())
+		}
 		return
 	}
 	w, ok := sm.Sched.Pick(ready, cycle)
 	if !ok {
 		sm.st.IssueStallCycles++
+		if sm.tr != nil {
+			sm.traceStall(trace.StallScheduler)
+		}
 		return
 	}
 	wc := &sm.warps[w]
 	in := wc.walker.Peek()
+	if sm.tr != nil && (sm.trStalled || sm.trLastWarp != int32(w)) {
+		sm.trStalled = false
+		sm.trLastWarp = int32(w)
+		sm.tr.Emit(trace.Event{Kind: trace.KindWarpIssue, Unit: int32(sm.id),
+			Warp: int32(w), PC: uint32(in.PC), Arg: int64(wc.wid)})
+	}
 	sm.st.Instructions++
 	sm.st.RegFileAccesses++
 	// The paper's 8-cycle issue-to-execute latency applies to dependent
@@ -814,4 +898,3 @@ func (sm *SM) recordLoad(pc arch.PC, w arch.WarpID, addr arch.Addr, lines int) {
 func (sm *SM) FinalizePrefetchStats() {
 	sm.st.PrefetchUseless += int64(sm.l1.UnresolvedEarlyEvictions())
 }
-

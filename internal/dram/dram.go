@@ -17,6 +17,7 @@ import (
 	"apres/internal/config"
 	"apres/internal/mem"
 	"apres/internal/stats"
+	"apres/internal/trace"
 )
 
 // Response is a completed memory request on its way back to an SM's L1.
@@ -112,7 +113,11 @@ type MemSystem struct {
 	st        *stats.Stats
 	returnLeg int64
 	responses []Response // scratch, reused across Tick calls
+	tr        *trace.Tracer
 }
+
+// SetTracer attaches the trace sink; nil disables tracing (the default).
+func (m *MemSystem) SetTracer(tr *trace.Tracer) { m.tr = tr }
 
 // New builds the memory system. Stats for L2/DRAM counters are written to
 // st (typically the GPU-level aggregate).
@@ -160,10 +165,20 @@ func (m *MemSystem) access(p int, req arch.MemReq, cycle int64) {
 	case arch.ResultHit:
 		m.st.GPUL2Hits++
 		m.push(event{cycle: cycle + int64(m.cfg.L2Latency), kind: evL2Hit, partition: p, line: req.Line, req: req})
+		if m.tr != nil {
+			m.tr.Emit(trace.Event{Kind: trace.KindL2Enter, Unit: int32(p),
+				Warp: int32(req.Warp), PC: uint32(req.PC), Line: uint64(req.Line),
+				Arg: trace.L2OutcomeHit})
+		}
 	case arch.ResultMergedMSHR:
 		// Waiter recorded inside the L2 MSHR entry; it will be woken by
 		// the fill event already scheduled for this line.
 		m.st.L2Misses++
+		if m.tr != nil {
+			m.tr.Emit(trace.Event{Kind: trace.KindL2Enter, Unit: int32(p),
+				Warp: int32(req.Warp), PC: uint32(req.PC), Line: uint64(req.Line),
+				Arg: trace.L2OutcomeMerge})
+		}
 	case arch.ResultMiss:
 		m.st.L2Misses++
 		m.st.DRAMAccesses++
@@ -172,8 +187,21 @@ func (m *MemSystem) access(p int, req arch.MemReq, cycle int64) {
 		pt.nextFree = start + int64(m.cfg.DRAMServiceInterval)
 		m.st.DRAMQueueCycles += start - cycle
 		m.push(event{cycle: start + int64(m.cfg.DRAMLatency), kind: evDRAMFill, partition: p, line: req.Line})
+		if m.tr != nil {
+			m.tr.Emit(trace.Event{Kind: trace.KindL2Enter, Unit: int32(p),
+				Warp: int32(req.Warp), PC: uint32(req.PC), Line: uint64(req.Line),
+				Arg: trace.L2OutcomeMiss})
+			m.tr.Emit(trace.Event{Kind: trace.KindDRAMEnter, Unit: int32(p),
+				Warp: int32(req.Warp), PC: uint32(req.PC), Line: uint64(req.Line),
+				Arg: start - cycle})
+		}
 	case arch.ResultStall:
 		pt.pending = append(pt.pending, req)
+		if m.tr != nil {
+			m.tr.Emit(trace.Event{Kind: trace.KindL2Enter, Unit: int32(p),
+				Warp: int32(req.Warp), PC: uint32(req.PC), Line: uint64(req.Line),
+				Arg: trace.L2OutcomeStall})
+		}
 	}
 }
 
@@ -208,6 +236,10 @@ func (m *MemSystem) Tick(cycle int64) []Response {
 		switch e.kind {
 		case evL2Hit:
 			m.responses = append(m.responses, Response{Req: e.req, ReadyCycle: e.cycle})
+			if m.tr != nil {
+				m.tr.Emit(trace.Event{Kind: trace.KindL2Leave, Unit: int32(e.partition),
+					Warp: int32(e.req.Warp), PC: uint32(e.req.PC), Line: uint64(e.line)})
+			}
 		case evDRAMFill:
 			fill := m.parts[e.partition].l2.Fill(e.line, e.cycle)
 			if fill.Entry == nil {
@@ -216,6 +248,10 @@ func (m *MemSystem) Tick(cycle int64) []Response {
 			ready := e.cycle + m.returnLeg
 			for _, w := range fill.Entry.Waiters {
 				m.responses = append(m.responses, Response{Req: w, ReadyCycle: ready})
+			}
+			if m.tr != nil {
+				m.tr.Emit(trace.Event{Kind: trace.KindDRAMLeave, Unit: int32(e.partition),
+					Line: uint64(e.line), Arg: int64(len(fill.Entry.Waiters))})
 			}
 		}
 	}
@@ -239,6 +275,17 @@ func (m *MemSystem) NextEventCycle(cycle int64) int64 {
 		return -1
 	}
 	return m.events.peekCycle()
+}
+
+// QueueDepth returns the number of requests currently inside the memory
+// system: scheduled L2/DRAM events plus MSHR-stalled retries. It is the
+// interval sampler's dram_queue_depth gauge.
+func (m *MemSystem) QueueDepth() int64 {
+	d := int64(len(m.events))
+	for i := range m.parts {
+		d += int64(len(m.parts[i].pending))
+	}
+	return d
 }
 
 // Drained reports whether no events or pending requests remain.

@@ -15,6 +15,7 @@ import (
 	"apres/internal/kernel"
 	"apres/internal/noc"
 	"apres/internal/stats"
+	"apres/internal/trace"
 )
 
 // TimelinePoint is one sample of aggregate progress (for plotting IPC over
@@ -71,6 +72,7 @@ type GPU struct {
 	timelineInterval int64
 	timeline         []TimelinePoint
 	noSkip           bool
+	tr               *trace.Tracer
 
 	// wake caches each SM's NextWakeup bound from its last Tick. On any
 	// cycle before wake[i] with no NoC delivery, SM i provably does
@@ -97,6 +99,16 @@ func WithTimeline(interval int64) Option {
 			g.timelineInterval = interval
 		}
 	}
+}
+
+// WithTrace attaches a Tracer: every component emits its typed events into
+// it and the run loop records interval samples at the tracer's window
+// boundaries (including boundaries inside cycle-skipped gaps). Tracing
+// never changes simulated results — emitters only read component state —
+// and a nil tracer is ignored, so callers can pass their flag value
+// directly. The caller owns the tracer and must Close it after the run.
+func WithTrace(tr *trace.Tracer) Option {
+	return func(g *GPU) { g.tr = tr }
 }
 
 // WithoutCycleSkipping forces the run loop to tick every cycle instead of
@@ -134,6 +146,13 @@ func New(cfg config.Config, kern kernel.Kernel, opts ...Option) (*GPU, error) {
 			sm.CollectLoadStats = true
 		}
 		g.sms[i] = sm
+	}
+	if g.tr != nil {
+		g.memSys.SetTracer(g.tr)
+		g.net.SetTracer(g.tr)
+		for _, sm := range g.sms {
+			sm.SetTracer(g.tr)
+		}
 	}
 	return g, nil
 }
@@ -187,6 +206,9 @@ func (g *GPU) RunContext(ctx context.Context, kernName string) (Result, error) {
 			}
 			nextCtxCheck = cycle + ctxCheckInterval
 		}
+		if g.tr != nil {
+			g.tr.Advance(cycle)
+		}
 		for _, r := range g.memSys.Tick(cycle) {
 			g.net.Enqueue(r)
 		}
@@ -215,11 +237,21 @@ func (g *GPU) RunContext(ctx context.Context, kernName string) (Result, error) {
 		if g.timelineInterval > 0 && cycle%g.timelineInterval == 0 {
 			g.sampleTimeline(cycle)
 		}
+		if g.tr != nil && g.tr.SampleDue(cycle) {
+			g.sampleTrace(cycle)
+		}
 		if allDone && g.memSys.Drained() && !g.net.Pending() {
 			break
 		}
 		if !g.noSkip {
 			cycle = g.skipTo(cycle, maxCycles)
+		}
+	}
+	if g.tr != nil && g.tr.Interval() > 0 {
+		// Tail sample so the series always covers the whole run, even when
+		// the final cycle is not a window boundary.
+		if s := g.tr.Samples(); len(s) == 0 || s[len(s)-1].Cycle != cycle {
+			g.sampleTrace(cycle)
 		}
 	}
 
@@ -295,6 +327,11 @@ func (g *GPU) skipTo(cycle, maxCycles int64) int64 {
 		return cycle
 	}
 	from, to := cycle+1, next-1
+	if g.tr != nil {
+		// Stall-transition events from SkipIdle must carry the timestamp the
+		// cycle-by-cycle loop would have used: the gap's first cycle.
+		g.tr.Advance(from)
+	}
 	for _, sm := range g.sms {
 		if !sm.Done() {
 			sm.SkipIdle(from, to)
@@ -305,7 +342,33 @@ func (g *GPU) skipTo(cycle, maxCycles int64) int64 {
 			g.sampleTimeline(m)
 		}
 	}
+	if g.tr != nil {
+		// Window boundaries inside the gap get samples with the (frozen)
+		// gauges: every component is provably inert across the skipped
+		// cycles, so these match what the cycle-by-cycle loop records.
+		if iv := g.tr.Interval(); iv > 0 {
+			for m := from + (iv-from%iv)%iv; m <= to; m += iv {
+				g.sampleTrace(m)
+			}
+		}
+	}
 	return to
+}
+
+// sampleTrace gathers the interval gauges and records one time-series
+// point. Everything here is a read: sampling cannot perturb the run.
+func (g *GPU) sampleTrace(cycle int64) {
+	var gg trace.Gauges
+	for i := range g.sms {
+		st := &g.smStats[i]
+		gg.Instructions += st.Instructions
+		gg.L1Accesses += st.L1Accesses
+		gg.L1Hits += st.L1Hits
+		gg.OutstandingPrefetches += st.PrefetchIssued - st.PrefetchFills
+		gg.MSHROccupancy += int64(g.sms[i].L1().MSHRCount())
+	}
+	gg.DRAMQueueDepth = g.memSys.QueueDepth()
+	g.tr.RecordSample(cycle, gg)
 }
 
 // sampleTimeline appends one progress sample at the given cycle.

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"apres/internal/config"
+	"apres/internal/trace"
 	"apres/internal/workloads"
 )
 
@@ -71,6 +72,99 @@ func TestSkipEquivalence(t *testing.T) {
 				if !reflect.DeepEqual(skip, noskip) {
 					t.Fatalf("results diverge outside the fields above (LoadStats or flags):\nskip:   %+v\nnoskip: %+v",
 						skip, noskip)
+				}
+			})
+		}
+	}
+}
+
+// TestTraceEquivalence enforces the tracing subsystem's correctness
+// contract: attaching a Tracer must not change the simulation in any way.
+// For every workload and configuration the traced Result is compared
+// bit-for-bit against the untraced one, and the traced run must actually
+// have produced events (an accidentally detached tracer would pass the
+// equality check vacuously).
+func TestTraceEquivalence(t *testing.T) {
+	for _, w := range workloads.All() {
+		for _, cc := range equivConfigs() {
+			w, cc := w, cc
+			t.Run(w.Name()+"/"+cc.name, func(t *testing.T) {
+				t.Parallel()
+				cfg := cc.cfg
+				cfg.NumSMs = 2
+				kern := w.Kernel.Scaled(equivScale)
+				opts := []Option{WithTimeline(64), WithLoadStats()}
+				plain, err := Simulate(cfg, kern, opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sink := &trace.CollectSink{}
+				tr := trace.New(sink, 64)
+				traced, err := Simulate(cfg, kern, append(opts, WithTrace(tr))...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := tr.Close(); err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(plain, traced) {
+					t.Fatalf("tracing changed the simulated result:\nplain:  %+v\ntraced: %+v", plain, traced)
+				}
+				if len(sink.Events) == 0 {
+					t.Fatal("traced run emitted no events")
+				}
+				if len(sink.Samples) == 0 {
+					t.Fatal("traced run recorded no interval samples")
+				}
+			})
+		}
+	}
+}
+
+// TestTraceSkipInvariance pins down the subtler half of the tracing
+// contract: the event stream and interval series themselves must be
+// bit-identical between the event-driven (cycle-skipping) loop and the
+// cycle-by-cycle loop. This is what forces warp events to be
+// transition-only and the stall classifier to use only gap-invariant state
+// — a reason that could flip mid-gap (e.g. a ring delay expiring while all
+// live warps are memory-blocked) would emit extra events only in the
+// noskip run.
+func TestTraceSkipInvariance(t *testing.T) {
+	for _, w := range workloads.All() {
+		for _, cc := range equivConfigs() {
+			w, cc := w, cc
+			t.Run(w.Name()+"/"+cc.name, func(t *testing.T) {
+				t.Parallel()
+				cfg := cc.cfg
+				cfg.NumSMs = 2
+				kern := w.Kernel.Scaled(equivScale)
+				run := func(opts ...Option) *trace.CollectSink {
+					sink := &trace.CollectSink{}
+					tr := trace.New(sink, 64)
+					if _, err := Simulate(cfg, kern, append(opts, WithTrace(tr))...); err != nil {
+						t.Fatal(err)
+					}
+					if err := tr.Close(); err != nil {
+						t.Fatal(err)
+					}
+					return sink
+				}
+				skip := run()
+				noskip := run(WithoutCycleSkipping())
+				if len(skip.Events) != len(noskip.Events) {
+					t.Fatalf("event counts diverge: skip=%d noskip=%d (by category: skip=%v noskip=%v)",
+						len(skip.Events), len(noskip.Events),
+						skip.CountByCategory(), noskip.CountByCategory())
+				}
+				for i := range skip.Events {
+					if skip.Events[i] != noskip.Events[i] {
+						t.Fatalf("event %d diverges:\nskip:   %+v\nnoskip: %+v",
+							i, skip.Events[i], noskip.Events[i])
+					}
+				}
+				if !reflect.DeepEqual(skip.Samples, noskip.Samples) {
+					t.Fatalf("interval series diverge: skip has %d samples, noskip %d\nskip:   %+v\nnoskip: %+v",
+						len(skip.Samples), len(noskip.Samples), skip.Samples, noskip.Samples)
 				}
 			})
 		}

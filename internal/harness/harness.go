@@ -9,10 +9,12 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"apres/internal/config"
 	"apres/internal/gpu"
 	"apres/internal/resultstore"
+	"apres/internal/trace"
 	"apres/internal/version"
 	"apres/internal/workloads"
 )
@@ -105,6 +107,7 @@ type Runner struct {
 	inflight map[runKey]*inflightRun
 	sem      chan struct{}
 	stats    RunStats
+	waiting  atomic.Int64
 }
 
 // NewRunner returns a Runner at the given workload scale (1.0 = full size).
@@ -160,6 +163,44 @@ func (r *Runner) RunConfig(ctx context.Context, app string, cfg config.Config, l
 	}
 	digest := resultstore.ConfigDigest(cfg)
 	return r.runResolved(ctx, app, "cfg:"+digest, "cfg:"+digest, cfg, loadStats)
+}
+
+// RunTraced simulates workload app under an explicit configuration with
+// the given tracer attached. Traced runs bypass the memo cache, the
+// singleflight map, and the persistent store — a trace is a property of an
+// actual execution, and a cached result has none — but they still funnel
+// through the worker pool, so traced requests cannot oversubscribe the
+// machine. The caller owns tr and must Close it after the run.
+func (r *Runner) RunTraced(ctx context.Context, app string, cfg config.Config, loadStats bool, tr *trace.Tracer) (gpu.Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return gpu.Result{}, err
+	}
+	w, ok := workloads.ByName(app)
+	if !ok {
+		return gpu.Result{}, fmt.Errorf("harness: unknown workload %q", app)
+	}
+	if r.SMs > 0 {
+		cfg.NumSMs = r.SMs
+	}
+	if r.Adjust != nil {
+		r.Adjust(&cfg)
+		if err := cfg.Validate(); err != nil {
+			return gpu.Result{}, err
+		}
+	}
+	kern := w.Kernel
+	if r.Scale != 1 {
+		kern = kern.Scaled(r.Scale)
+	}
+	opts := []gpu.Option{gpu.WithTrace(tr)}
+	if loadStats {
+		opts = append(opts, gpu.WithLoadStats())
+	}
+	res, err := r.simulate(ctx, cfg, kern, opts...)
+	if err != nil {
+		return gpu.Result{}, fmt.Errorf("harness: %s (traced): %w", app, err)
+	}
+	return res, nil
 }
 
 // runResolved is the shared memoise + singleflight + simulate path. tag

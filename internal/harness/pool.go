@@ -76,12 +76,27 @@ func (r *Runner) acquireSlot(ctx context.Context) (func(), error) {
 	}
 	sem := r.sem
 	r.mu.Unlock()
+	r.waiting.Add(1)
+	defer r.waiting.Add(-1)
 	select {
 	case sem <- struct{}{}:
 		return func() { <-sem }, nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+}
+
+// PoolGauges reports the worker pool's instantaneous state: its slot
+// capacity, how many simulations currently hold a slot, and how many
+// callers are queued waiting for one. The daemon exposes these in /metrics.
+func (r *Runner) PoolGauges() (capacity, busy, waiting int) {
+	r.mu.Lock()
+	capacity = r.workers()
+	if r.sem != nil {
+		busy = len(r.sem)
+	}
+	r.mu.Unlock()
+	return capacity, busy, int(r.waiting.Load())
 }
 
 // simulate executes one simulation under the pool's concurrency bound.

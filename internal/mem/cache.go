@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"apres/internal/arch"
+	"apres/internal/trace"
 )
 
 // line is one cache line's metadata.
@@ -140,6 +141,19 @@ type Cache struct {
 	// but once a prefetch is forwarded below the L1 it is a real read
 	// that must return data, so L2 slices set this.
 	prefetchAsDemand bool
+
+	// tr, when non-nil, receives cache and MSHR events; trUnit is the
+	// owning SM's index. Only L1 instances are traced (the SM attaches the
+	// tracer); the memory system traces its L2 slices at queue level.
+	tr     *trace.Tracer
+	trUnit int32
+}
+
+// SetTracer attaches an event tracer; unit identifies the owning SM in the
+// emitted events. Passing nil detaches.
+func (c *Cache) SetTracer(tr *trace.Tracer, unit int32) {
+	c.tr = tr
+	c.trUnit = unit
 }
 
 // NewL2Cache builds a cache slice for the shared L2: identical to NewCache
@@ -233,6 +247,10 @@ func (c *Cache) Access(req arch.MemReq, cycle int64) Outcome {
 			}
 			ln.used = true
 			c.noteDemand(true)
+			if c.tr != nil {
+				c.tr.Emit(trace.Event{Kind: trace.KindL1Hit, Unit: c.trUnit,
+					Warp: int32(req.Warp), PC: uint32(req.PC), Line: uint64(req.Line)})
+			}
 		}
 		return out
 	}
@@ -246,6 +264,14 @@ func (c *Cache) Access(req arch.MemReq, cycle int64) Outcome {
 			}
 			out.Class = c.classify(req.Line)
 			c.noteDemand(false)
+			if c.tr != nil {
+				var arg int64
+				if out.MergedIntoPrefetch {
+					arg = 1
+				}
+				c.tr.Emit(trace.Event{Kind: trace.KindMSHRMerge, Unit: c.trUnit,
+					Warp: int32(req.Warp), PC: uint32(req.PC), Line: uint64(req.Line), Arg: arg})
+			}
 		}
 		return out
 	}
@@ -273,6 +299,23 @@ func (c *Cache) Access(req arch.MemReq, cycle int64) Outcome {
 	}
 	c.mshr[req.Line] = e
 	c.everSeen[req.Line] = struct{}{}
+	if c.tr != nil {
+		if isDemand {
+			var class int64
+			if out.Class == arch.MissCapacityConflict {
+				class = 1
+			}
+			c.tr.Emit(trace.Event{Kind: trace.KindL1Miss, Unit: c.trUnit,
+				Warp: int32(req.Warp), PC: uint32(req.PC), Line: uint64(req.Line), Arg: class})
+			if out.ProvesEarlyEviction {
+				c.tr.Emit(trace.Event{Kind: trace.KindEarlyEvict, Unit: c.trUnit,
+					Warp: int32(req.Warp), PC: uint32(req.PC), Line: uint64(req.Line)})
+			}
+		}
+		c.tr.Emit(trace.Event{Kind: trace.KindMSHRAlloc, Unit: c.trUnit,
+			Warp: int32(req.Warp), PC: uint32(req.PC), Line: uint64(req.Line),
+			Arg: int64(len(c.mshr))})
+	}
 	return out
 }
 
@@ -332,6 +375,19 @@ func (c *Cache) Fill(l arch.LineAddr, cycle int64) FillOutcome {
 		if e.Prefetch && e.DemandMerged {
 			out.PrefetchCompletedUseful = true
 		}
+		if c.tr != nil {
+			c.tr.Emit(trace.Event{Kind: trace.KindMSHRRetire, Unit: c.trUnit,
+				Warp: int32(e.Owner), PC: uint32(e.PC), Line: uint64(l),
+				Arg: int64(len(c.mshr))})
+			if e.Prefetch {
+				var arg int64
+				if e.DemandMerged {
+					arg = 1
+				}
+				c.tr.Emit(trace.Event{Kind: trace.KindPrefetchFill, Unit: c.trUnit,
+					Warp: int32(e.Owner), PC: uint32(e.PC), Line: uint64(l), Arg: arg})
+			}
+		}
 	}
 	// One pass over the set finds both a resident copy (e.g. a racing
 	// fill — nothing to install) and the LRU victim; Fill is on the
@@ -357,6 +413,15 @@ func (c *Cache) Fill(l arch.LineAddr, cycle int64) FillOutcome {
 			out.VictimUnusedPrefetch = true
 			out.VictimPrefetchPC = victim.pfPC
 			c.evictedUnusedPF[victim.tag] = struct{}{}
+		}
+		if c.tr != nil {
+			var arg int64
+			if out.VictimUnusedPrefetch {
+				arg = 1
+			}
+			c.tr.Emit(trace.Event{Kind: trace.KindL1Evict, Unit: c.trUnit,
+				Warp: int32(victim.owner), PC: uint32(victim.pfPC),
+				Line: uint64(victim.tag), Arg: arg})
 		}
 	}
 	prefetchFill := e != nil && e.Prefetch

@@ -8,6 +8,7 @@ import (
 	"apres/internal/arch"
 	"apres/internal/dram"
 	"apres/internal/stats"
+	"apres/internal/trace"
 )
 
 // maxCreditLines caps banked bandwidth so an idle period cannot fund an
@@ -38,7 +39,11 @@ type Network struct {
 	// Pending() is O(1) instead of an O(numSMs) scan per cycle.
 	pending int
 	st      *stats.Stats
+	tr      *trace.Tracer
 }
+
+// SetTracer attaches the trace sink; nil disables tracing (the default).
+func (n *Network) SetTracer(tr *trace.Tracer) { n.tr = tr }
 
 // New builds a network for numSMs SMs with the given per-SM response
 // bandwidth in bytes per cycle.
@@ -68,6 +73,11 @@ func (n *Network) Enqueue(r dram.Response) {
 	}
 	q.buf = append(q.buf, r)
 	n.pending++
+	if n.tr != nil {
+		n.tr.Emit(trace.Event{Kind: trace.KindNoCInject, Unit: int32(r.Req.SM),
+			Warp: int32(r.Req.Warp), PC: uint32(r.Req.PC), Line: uint64(r.Req.Line),
+			Arg: int64(len(q.buf) - q.head)})
+	}
 }
 
 // bankCredit accrues bandwidth credit for every cycle elapsed since the
@@ -111,6 +121,10 @@ func (n *Network) Deliver(sm int, cycle int64) []dram.Response {
 	}
 	q.head += delivered
 	n.pending -= delivered
+	if n.tr != nil && delivered > 0 {
+		n.tr.Emit(trace.Event{Kind: trace.KindNoCDeliver, Unit: int32(sm),
+			Arg: int64(delivered)})
+	}
 	if q.head == len(q.buf) {
 		q.buf = q.buf[:0]
 		q.head = 0

@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"apres/internal/arch"
+	"apres/internal/trace"
 )
 
 // maxTargetsPerEvent caps how many grouped warps one miss prefetches for.
@@ -60,6 +61,15 @@ type SAP struct {
 	// drqPending models Demand Request Queue occupancy within a cycle.
 	drqPending int
 	drqCycle   int64
+
+	tr     *trace.Tracer
+	trUnit int32
+}
+
+// SetTracer attaches the trace sink; nil disables tracing (the default).
+func (p *SAP) SetTracer(tr *trace.Tracer, unit int32) {
+	p.tr = tr
+	p.trUnit = unit
 }
 
 // NewSAP builds a SAP prefetcher with the given PT and DRQ capacities. When
@@ -127,6 +137,10 @@ func (p *SAP) OnGroupMiss(pc arch.PC, missWarp arch.WarpID, missAddr arch.Addr, 
 		e.strideOK = true
 		e.warp, e.addr = missWarp, missAddr
 		if p.strideGate {
+			if p.tr != nil {
+				p.tr.Emit(trace.Event{Kind: trace.KindSAPGate, Unit: p.trUnit,
+					Warp: int32(missWarp), PC: uint32(pc), Arg: stride})
+			}
 			return nil
 		}
 	} else {
@@ -159,6 +173,11 @@ func (p *SAP) OnGroupMiss(pc arch.PC, missWarp arch.WarpID, missAddr arch.Addr, 
 			continue
 		}
 		reqs = append(reqs, Request{Addr: arch.Addr(a), Warp: t.Slot, PC: pc})
+	}
+	if p.tr != nil && len(reqs) > 0 {
+		p.tr.Emit(trace.Event{Kind: trace.KindSAPIssue, Unit: p.trUnit,
+			Warp: int32(missWarp), PC: uint32(pc), Arg: stride,
+			Line: uint64(len(reqs))})
 	}
 	return reqs
 }

@@ -15,7 +15,10 @@
 // re-prioritises so their demands merge into the in-flight prefetches.
 package sched
 
-import "apres/internal/arch"
+import (
+	"apres/internal/arch"
+	"apres/internal/trace"
+)
 
 // noLLPC marks a warp that has not issued any load yet. All such warps
 // share the same (empty) load history and are groupable, which warms the
@@ -39,6 +42,15 @@ type LAWS struct {
 	wgt   []wgtEntry
 	wgtRR int // ring allocation pointer
 	nexID int
+
+	tr     *trace.Tracer
+	trUnit int32
+}
+
+// SetTracer attaches the trace sink; nil disables tracing (the default).
+func (s *LAWS) SetTracer(tr *trace.Tracer, unit int32) {
+	s.tr = tr
+	s.trUnit = unit
 }
 
 // NewLAWS builds a LAWS scheduler with the given WGT capacity (the paper
@@ -111,8 +123,16 @@ func (s *LAWS) OnCacheResult(w arch.WarpID, _ arch.PC, _ arch.LineAddr, hit bool
 		e.valid = false
 		if hit {
 			s.moveToHead(mask)
+			if s.tr != nil {
+				s.tr.Emit(trace.Event{Kind: trace.KindGroupPromote, Unit: s.trUnit,
+					Warp: int32(w), Arg: int64(mask)})
+			}
 		} else if s.tailDemotion {
 			s.moveToTail(mask)
+			if s.tr != nil {
+				s.tr.Emit(trace.Event{Kind: trace.KindGroupDemote, Unit: s.trUnit,
+					Warp: int32(w), Arg: int64(mask)})
+			}
 		}
 		return mask
 	}

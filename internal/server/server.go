@@ -6,8 +6,14 @@
 //	POST /v1/simulate       one (workload, config) run -> full statistics
 //	POST /v1/sweep          workload x config matrix -> per-cell summaries
 //	GET  /v1/results/{key}  fetch a stored entry by content address
+//	GET  /v1/traces/{id}    download a trace artifact from a traced run
 //	GET  /healthz           liveness + version
 //	GET  /metrics           Prometheus text format, no external deps
+//
+// POST /v1/simulate accepts a trace opt-in ("trace": true): the run then
+// executes with the cycle-level tracer attached (bypassing every cache —
+// traces need an actual execution) and the response carries a /v1/traces
+// URL for the Chrome-trace/Perfetto JSON artifact.
 //
 // Configurations are either named (harness.NamedConfig names such as
 // "apres" or "ccws+str") or inline full config.Config JSON objects. Bad
@@ -22,14 +28,18 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"apres/internal/config"
 	"apres/internal/gpu"
 	"apres/internal/harness"
 	"apres/internal/resultstore"
+	"apres/internal/trace"
 	"apres/internal/version"
 	"apres/internal/workloads"
 )
@@ -46,30 +56,41 @@ type Options struct {
 	// SimTimeout bounds each request's simulation wall time; 0 means no
 	// per-request timeout.
 	SimTimeout time.Duration
+	// TraceDir is where traced runs write their artifacts. Empty disables
+	// the trace opt-in (requests with "trace": true get 400).
+	TraceDir string
 }
 
 // Server is the apresd HTTP handler. Create with New; it is safe for
 // concurrent use.
 type Server struct {
-	runner  *harness.Runner
-	timeout time.Duration
-	mux     *http.ServeMux
-	metrics *metrics
-	started time.Time
+	runner   *harness.Runner
+	timeout  time.Duration
+	mux      *http.ServeMux
+	metrics  *metrics
+	started  time.Time
+	traceDir string
+
+	traceMu  sync.Mutex
+	traces   map[string]string // trace id -> artifact path
+	traceSeq atomic.Int64
 }
 
 // New builds a Server over opts.Runner.
 func New(opts Options) *Server {
 	s := &Server{
-		runner:  opts.Runner,
-		timeout: opts.SimTimeout,
-		mux:     http.NewServeMux(),
-		metrics: newMetrics(),
-		started: time.Now(),
+		runner:   opts.Runner,
+		timeout:  opts.SimTimeout,
+		mux:      http.NewServeMux(),
+		metrics:  newMetrics(),
+		started:  time.Now(),
+		traceDir: opts.TraceDir,
+		traces:   make(map[string]string),
 	}
 	s.mux.HandleFunc("POST /v1/simulate", s.counted("simulate", s.handleSimulate))
 	s.mux.HandleFunc("POST /v1/sweep", s.counted("sweep", s.handleSweep))
 	s.mux.HandleFunc("GET /v1/results/{key}", s.counted("results", s.handleResult))
+	s.mux.HandleFunc("GET /v1/traces/{id}", s.counted("traces", s.handleTrace))
 	s.mux.HandleFunc("GET /healthz", s.counted("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.counted("metrics", s.handleMetrics))
 	return s
@@ -152,6 +173,13 @@ type SimulateRequest struct {
 	Config       string         `json:"config,omitempty"`
 	ConfigInline *config.Config `json:"configInline,omitempty"`
 	LoadStats    bool           `json:"loadStats,omitempty"`
+	// Trace opts into cycle-level event tracing: the run always executes
+	// (no memo/store shortcut) and the response's Trace field links the
+	// downloadable Chrome-trace artifact.
+	Trace bool `json:"trace,omitempty"`
+	// TraceIntervalCycles is the interval-sampler window for a traced run;
+	// 0 uses the server default.
+	TraceIntervalCycles int64 `json:"traceIntervalCycles,omitempty"`
 }
 
 // SimulateResponse is the POST /v1/simulate reply.
@@ -170,6 +198,8 @@ type SimulateResponse struct {
 	// Version is the simulator version stamp that served the request.
 	Version string     `json:"version"`
 	Result  gpu.Result `json:"result"`
+	// Trace is the download URL of the trace artifact for traced runs.
+	Trace string `json:"trace,omitempty"`
 }
 
 // resolveConfig validates a request's workload/config pair. It returns the
@@ -234,6 +264,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if req.Trace {
+		s.handleTracedSimulate(w, r, &req, cfg, label)
+		return
+	}
 
 	key := s.runner.StoreKey(req.Workload, cfg, req.LoadStats)
 	cached := s.cachedBefore(req.Workload, cfg, label, named, req.LoadStats, key)
@@ -267,6 +301,98 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		Version:  version.Stamp(),
 		Result:   res,
 	})
+}
+
+// defaultTraceInterval is the interval-sampler window (in cycles) used when
+// a traced request does not specify one.
+const defaultTraceInterval = 1000
+
+// newTraceID mints a filesystem-safe, per-process-unique trace artifact
+// name.
+func (s *Server) newTraceID(app, label string) string {
+	clean := func(x string) string {
+		return strings.Map(func(r rune) rune {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+				return r
+			default:
+				return '-'
+			}
+		}, x)
+	}
+	return fmt.Sprintf("%s-%s-%d.json", clean(app), clean(label), s.traceSeq.Add(1))
+}
+
+// handleTracedSimulate runs one simulation with the cycle-level tracer
+// attached, streaming the Chrome-trace artifact to TraceDir. Traced runs
+// always execute (the Runner bypasses its caches for them) and never write
+// the result store, so Key is empty and Cached false in the response.
+func (s *Server) handleTracedSimulate(w http.ResponseWriter, r *http.Request, req *SimulateRequest, cfg config.Config, label string) {
+	if s.traceDir == "" {
+		writeError(w, http.StatusBadRequest, "tracing is disabled: daemon started without a trace directory")
+		return
+	}
+	if err := os.MkdirAll(s.traceDir, 0o755); err != nil {
+		writeError(w, http.StatusInternalServerError, "trace directory: %v", err)
+		return
+	}
+	id := s.newTraceID(req.Workload, label)
+	path := filepath.Join(s.traceDir, id)
+	f, err := os.Create(path)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "trace artifact: %v", err)
+		return
+	}
+	interval := req.TraceIntervalCycles
+	if interval <= 0 {
+		interval = defaultTraceInterval
+	}
+	tr := trace.New(trace.NewJSONSink(f), interval)
+
+	ctx, cancel := s.simCtx(r)
+	defer cancel()
+	s.metrics.simStart()
+	t0 := time.Now()
+	res, err := s.runner.RunTraced(ctx, req.Workload, cfg, req.LoadStats, tr)
+	wall := time.Since(t0)
+	s.metrics.simEnd(label, wall.Seconds())
+	cerr := tr.Close()
+	if err2 := f.Close(); cerr == nil {
+		cerr = err2
+	}
+	if err == nil && cerr != nil {
+		err = fmt.Errorf("writing trace: %w", cerr)
+	}
+	if err != nil {
+		os.Remove(path)
+		writeError(w, runErrorStatus(err), "%v", err)
+		return
+	}
+	s.traceMu.Lock()
+	s.traces[id] = path
+	s.traceMu.Unlock()
+	writeJSON(w, http.StatusOK, SimulateResponse{
+		Workload: req.Workload,
+		Config:   label,
+		WallMS:   wall.Milliseconds(),
+		Version:  version.Stamp(),
+		Result:   res,
+		Trace:    "/v1/traces/" + id,
+	})
+}
+
+// handleTrace serves a trace artifact produced by a traced /v1/simulate.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.traceMu.Lock()
+	path, ok := s.traces[id]
+	s.traceMu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no trace %q", id)
+		return
+	}
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", id))
+	http.ServeFile(w, r, path)
 }
 
 // cachedBefore reports whether the result was already available (in-memory
@@ -430,6 +556,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("apresd_runner_dedup_waits_total", "Runs that joined an identical in-flight simulation.", rs.DedupWaits)
 	counter("apresd_runner_store_hits_total", "Runs answered from the persistent result store.", rs.StoreHits)
 	counter("apresd_runner_store_errors_total", "Failed persistent-store writes.", rs.StoreErrors)
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	capacity, busy, waiting := s.runner.PoolGauges()
+	gauge("apresd_pool_capacity", "Worker-pool simulation slots.", int64(capacity))
+	gauge("apresd_pool_busy", "Slots currently held by running simulations.", int64(busy))
+	gauge("apresd_pool_queue_depth", "Callers queued for a free simulation slot.", int64(waiting))
 	if s.runner.Store != nil {
 		ss := s.runner.Store.Stats()
 		counter("apresd_store_memory_hits_total", "Store lookups answered from the LRU front.", ss.MemHits)

@@ -17,6 +17,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -360,11 +361,102 @@ func TestMetricsAfterKnownSequence(t *testing.T) {
 		"apresd_runner_simulations_total 1",
 		"apresd_runner_cache_hits_total 1",
 		"apresd_store_puts_total 1",
+		"apresd_pool_capacity 8",
+		"apresd_pool_busy 0",
+		"apresd_pool_queue_depth 0",
 		`apresd_sim_duration_seconds_count{config="base"} 2`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q\n%s", want, text)
 		}
+	}
+}
+
+// TestTracedSimulateProducesArtifact covers the trace opt-in end to end:
+// a traced request must actually simulate (never a cache answer), link a
+// downloadable artifact, and that artifact must be a valid Chrome-trace
+// JSON document with the core event categories and the interval counter
+// series populated.
+func TestTracedSimulateProducesArtifact(t *testing.T) {
+	r := harness.NewRunner(0.05, 2)
+	s := New(Options{Runner: r, TraceDir: filepath.Join(t.TempDir(), "traces")})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	req := SimulateRequest{Workload: "SP", Config: "apres", Trace: true, TraceIntervalCycles: 500}
+	resp, data := postJSON(t, ts.URL+"/v1/simulate", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced simulate: %d %s", resp.StatusCode, data)
+	}
+	out := decodeSimulate(t, data)
+	if out.Trace == "" || !strings.HasPrefix(out.Trace, "/v1/traces/") {
+		t.Fatalf("no trace link in response: %+v", out)
+	}
+	if out.Key != "" || out.Cached {
+		t.Fatalf("traced run must bypass the caches: key=%q cached=%v", out.Key, out.Cached)
+	}
+	if out.Result.Cycles <= 0 {
+		t.Fatalf("degenerate traced result: %+v", out.Result)
+	}
+
+	get, err := http.Get(ts.URL + out.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(get.Body)
+	get.Body.Close()
+	if get.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace: %d %s", get.StatusCode, body)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("trace artifact is not valid JSON: %v", err)
+	}
+	byCat := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		byCat[e.Cat]++
+	}
+	for _, cat := range []string{"warp", "cache", "mshr", "dram", "interval"} {
+		if byCat[cat] == 0 {
+			t.Errorf("trace has no %q events (categories: %v)", cat, byCat)
+		}
+	}
+
+	// An identical traced request simulates again: traces need execution.
+	if resp, data := postJSON(t, ts.URL+"/v1/simulate", req); resp.StatusCode != http.StatusOK {
+		t.Fatalf("second traced simulate: %d %s", resp.StatusCode, data)
+	} else if second := decodeSimulate(t, data); second.Trace == out.Trace {
+		t.Fatalf("second traced run reused artifact %q", second.Trace)
+	}
+	if st := r.Stats(); st.Simulations != 2 {
+		t.Fatalf("traced requests ran %d simulations, want 2", st.Simulations)
+	}
+
+	// Unknown artifact ids are 404, not file probes.
+	get, err = http.Get(ts.URL + "/v1/traces/nope.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get.Body.Close()
+	if get.StatusCode != http.StatusNotFound {
+		t.Fatalf("absent trace: status %d, want 404", get.StatusCode)
+	}
+}
+
+func TestTracedSimulateWithoutTraceDirIs400(t *testing.T) {
+	s, _ := newTestServer(t, "", 0) // no TraceDir
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	resp, data := postJSON(t, ts.URL+"/v1/simulate",
+		SimulateRequest{Workload: "SP", Config: "base", Trace: true})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("trace without tracedir: status %d, want 400 (%s)", resp.StatusCode, data)
 	}
 }
 

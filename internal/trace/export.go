@@ -1,0 +1,128 @@
+// Exporters: a streaming Chrome-trace/Perfetto JSON sink and an interval
+// CSV writer. The JSON sink serialises each event block as it arrives, so
+// trace size is bounded by the output file, never by memory, and the file
+// content is fully deterministic for a deterministic simulation.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// dramPIDBase offsets memory-partition units in the exported trace so SM 0
+// and L2 partition 0 land in different Perfetto "processes".
+const dramPIDBase = 1000
+
+// JSONSink writes the Chrome trace event format (the JSON object form,
+// {"traceEvents": [...]}), which both chrome://tracing and Perfetto load.
+// Events become instant ("i") events on pid=unit / tid=warp tracks;
+// interval samples become counter ("C") events so Perfetto renders the
+// time series as graphs.
+type JSONSink struct {
+	w        *bufio.Writer
+	wroteAny bool
+	err      error
+}
+
+// NewJSONSink starts a Chrome-trace JSON document on w. The caller owns w
+// (Close flushes but does not close it).
+func NewJSONSink(w io.Writer) *JSONSink {
+	s := &JSONSink{w: bufio.NewWriterSize(w, 1<<16)}
+	_, s.err = s.w.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[")
+	return s
+}
+
+func (s *JSONSink) sep() {
+	if s.wroteAny {
+		s.w.WriteString(",\n")
+	} else {
+		s.w.WriteString("\n")
+		s.wroteAny = true
+	}
+}
+
+// WriteEvents implements Sink.
+func (s *JSONSink) WriteEvents(b []Event) error {
+	if s.err != nil {
+		return s.err
+	}
+	for i := range b {
+		e := &b[i]
+		pid := e.Unit
+		if c := e.Kind.Category(); c == "dram" {
+			pid = dramPIDBase + e.Unit
+		}
+		s.sep()
+		_, err := fmt.Fprintf(s.w,
+			`{"name":%q,"cat":%q,"ph":"i","s":"t","ts":%d,"pid":%d,"tid":%d,"args":{"pc":%d,"line":%d,"arg":%d}}`,
+			e.Kind.String(), e.Kind.Category(), e.Cycle, pid, e.Warp, e.PC, e.Line, e.Arg)
+		if err != nil {
+			s.err = err
+			return err
+		}
+	}
+	return s.w.Flush()
+}
+
+// WriteSamples implements Sink: each sample becomes one counter event per
+// series, all on pid 0.
+func (s *JSONSink) WriteSamples(b []Sample) error {
+	if s.err != nil {
+		return s.err
+	}
+	for i := range b {
+		p := &b[i]
+		for _, c := range []struct {
+			name string
+			val  float64
+		}{
+			{"ipc", p.IPC},
+			{"l1_hit_rate", p.L1HitRate},
+			{"mshr_occupancy", float64(p.MSHROccupancy)},
+			{"dram_queue_depth", float64(p.DRAMQueueDepth)},
+			{"outstanding_prefetches", float64(p.OutstandingPrefetches)},
+		} {
+			s.sep()
+			_, err := fmt.Fprintf(s.w,
+				`{"name":%q,"cat":"interval","ph":"C","ts":%d,"pid":0,"args":{%q:%g}}`,
+				c.name, p.Cycle, c.name, c.val)
+			if err != nil {
+				s.err = err
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Close implements Sink: terminates the JSON document and flushes.
+func (s *JSONSink) Close() error {
+	if s.err != nil {
+		return s.err
+	}
+	if _, err := s.w.WriteString("\n]}\n"); err != nil {
+		s.err = err
+		return err
+	}
+	return s.w.Flush()
+}
+
+// WriteIntervalCSV writes the interval time series as CSV, one row per
+// window boundary, covering the whole run (cycle-skipped gaps included:
+// the sampler emits boundary rows inside gaps with frozen gauges).
+func WriteIntervalCSV(w io.Writer, samples []Sample) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("cycle,instructions,ipc,l1_hit_rate,mshr_occupancy,dram_queue_depth,outstanding_prefetches\n"); err != nil {
+		return err
+	}
+	for i := range samples {
+		s := &samples[i]
+		if _, err := fmt.Fprintf(bw, "%d,%d,%.6f,%.6f,%d,%d,%d\n",
+			s.Cycle, s.Instructions, s.IPC, s.L1HitRate,
+			s.MSHROccupancy, s.DRAMQueueDepth, s.OutstandingPrefetches); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,387 @@
+// Package trace is the simulator's cycle-level observability layer: a
+// structured event stream plus an interval time-series sampler, captured
+// from the timing model's hot paths and exported as Chrome-trace/Perfetto
+// JSON and CSV.
+//
+// The design contract, enforced by the equivalence and benchmark tests:
+//
+//   - Disabled tracing costs nothing. Every component holds a *Tracer that
+//     is nil when tracing is off, and every emission site is guarded by a
+//     nil check; no allocation, no call, no event construction happens on
+//     the disabled path.
+//   - Enabled tracing never perturbs the simulation. Emitters only READ
+//     component state; the event-driven cycle-skipping loop, the scheduler
+//     decisions, and every statistic stay bit-identical with tracing on.
+//   - The capture path is allocation-free at steady state. Events are
+//     value types written into a fixed block (the pooled ring buffer);
+//     when the block fills it is handed to the Sink synchronously and then
+//     reused, so an arbitrarily long run needs one block of memory.
+package trace
+
+// Kind enumerates the typed simulation events.
+type Kind uint8
+
+const (
+	// KindWarpIssue marks an issue transition: the scheduler switched to a
+	// new warp (Warp, PC) after issuing a different warp or stalling.
+	KindWarpIssue Kind = iota
+	// KindWarpStall marks a stall transition: the SM stopped issuing, or
+	// its stall reason changed. Arg is a Stall* reason code.
+	KindWarpStall
+	// KindL1Hit is a demand hit in an SM's L1 (Warp, PC, Line).
+	KindL1Hit
+	// KindL1Miss is a demand miss that allocated an MSHR entry. Arg is 0
+	// for a cold miss, 1 for capacity/conflict.
+	KindL1Miss
+	// KindL1Evict is an L1 victim eviction (Line is the victim tag, Warp
+	// its owner). Arg is 1 when the victim was an unused prefetched line.
+	KindL1Evict
+	// KindPrefetchFill is a prefetched line arriving in the L1.
+	KindPrefetchFill
+	// KindEarlyEvict is the proof moment of an early eviction: a demand
+	// miss on a line that was prefetched correctly but evicted unused.
+	KindEarlyEvict
+	// KindMSHRAlloc is an L1 MSHR allocation. Arg is the MSHR occupancy
+	// after the allocation; Warp/PC identify the allocating request.
+	KindMSHRAlloc
+	// KindMSHRMerge is a demand request merging into an in-flight MSHR
+	// entry. Arg is 1 when the entry is a prefetch (the APRES timeliness
+	// case), 0 otherwise.
+	KindMSHRMerge
+	// KindMSHRRetire is an MSHR entry completing on fill. Arg is the MSHR
+	// occupancy after removal.
+	KindMSHRRetire
+	// KindNoCInject is a memory response entering the interconnect toward
+	// SM Unit. Arg is the SM's queue depth after the injection.
+	KindNoCInject
+	// KindNoCDeliver is a delivery batch reaching SM Unit; Arg is the
+	// number of responses delivered this cycle.
+	KindNoCDeliver
+	// KindL2Enter is a request entering L2 partition Unit. Arg is an
+	// L2Outcome code (hit/miss/merge/stall).
+	KindL2Enter
+	// KindL2Leave is an L2 hit response leaving partition Unit toward the
+	// interconnect.
+	KindL2Leave
+	// KindDRAMEnter is an L2 miss being scheduled on partition Unit's DRAM
+	// channel. Arg is the queueing delay in cycles before service starts.
+	KindDRAMEnter
+	// KindDRAMLeave is a DRAM fill completing on partition Unit. Arg is
+	// the number of merged waiters woken by the fill.
+	KindDRAMLeave
+	// KindGroupPromote is LAWS moving a warp group to the queue head after
+	// a head-warp hit. Arg is the group's warp mask; Warp the head warp.
+	KindGroupPromote
+	// KindGroupDemote is LAWS demoting a warp group to the queue tail
+	// after a head-warp miss. Arg is the group's warp mask.
+	KindGroupDemote
+	// KindSAPIssue is SAP deciding to prefetch for a warp group: Arg is
+	// the confirmed stride, Line the number of prefetches generated, Warp
+	// the missing head warp, PC the static load.
+	KindSAPIssue
+	// KindSAPGate is SAP suppressing prefetch generation on a stride
+	// mismatch (the Section IV.B confirmation gate). Arg is the freshly
+	// observed (unconfirmed) stride.
+	KindSAPGate
+
+	numKinds
+)
+
+// Stall reason codes carried in KindWarpStall's Arg.
+const (
+	// StallDrained: every warp slot has finished for good.
+	StallDrained int64 = iota + 1
+	// StallPipeline: no warp's issue-to-issue delay has expired yet.
+	StallPipeline
+	// StallMemDep: every delay-expired warp waits on an in-flight line.
+	StallMemDep
+	// StallLSUFull: the only issuable warps would issue memory ops and the
+	// LSU queue is full.
+	StallLSUFull
+	// StallScheduler: ready warps existed but the policy declined to issue
+	// (e.g. CCWS locality-aware throttling).
+	StallScheduler
+)
+
+// L2Outcome codes carried in KindL2Enter's Arg.
+const (
+	L2OutcomeMiss int64 = iota
+	L2OutcomeHit
+	L2OutcomeMerge
+	L2OutcomeStall
+)
+
+// Event is one timestamped simulation event. It is a fixed-size value type
+// so capture never allocates; field meaning varies by Kind (see the Kind
+// docs). Unit is the SM index for core/cache/NoC events and the partition
+// index for L2/DRAM events.
+type Event struct {
+	Cycle int64
+	Line  uint64
+	Arg   int64
+	PC    uint32
+	Unit  int32
+	Warp  int32
+	Kind  Kind
+}
+
+// kindMeta maps each Kind to its export name and category. Categories are
+// the trace taxonomy: warp, cache, mshr, noc, dram, sched, prefetch.
+var kindMeta = [numKinds]struct{ name, cat string }{
+	KindWarpIssue:    {"warp_issue", "warp"},
+	KindWarpStall:    {"warp_stall", "warp"},
+	KindL1Hit:        {"l1_hit", "cache"},
+	KindL1Miss:       {"l1_miss", "cache"},
+	KindL1Evict:      {"l1_evict", "cache"},
+	KindPrefetchFill: {"prefetch_fill", "cache"},
+	KindEarlyEvict:   {"early_evict", "cache"},
+	KindMSHRAlloc:    {"mshr_alloc", "mshr"},
+	KindMSHRMerge:    {"mshr_merge", "mshr"},
+	KindMSHRRetire:   {"mshr_retire", "mshr"},
+	KindNoCInject:    {"noc_inject", "noc"},
+	KindNoCDeliver:   {"noc_deliver", "noc"},
+	KindL2Enter:      {"l2_enter", "dram"},
+	KindL2Leave:      {"l2_leave", "dram"},
+	KindDRAMEnter:    {"dram_enter", "dram"},
+	KindDRAMLeave:    {"dram_leave", "dram"},
+	KindGroupPromote: {"group_promote", "sched"},
+	KindGroupDemote:  {"group_demote", "sched"},
+	KindSAPIssue:     {"sap_issue", "prefetch"},
+	KindSAPGate:      {"sap_gate", "prefetch"},
+}
+
+// String returns the kind's export name.
+func (k Kind) String() string {
+	if int(k) < len(kindMeta) {
+		return kindMeta[k].name
+	}
+	return "unknown"
+}
+
+// Category returns the kind's trace category.
+func (k Kind) Category() string {
+	if int(k) < len(kindMeta) {
+		return kindMeta[k].cat
+	}
+	return "unknown"
+}
+
+// Categories lists the event taxonomy in canonical order.
+func Categories() []string {
+	return []string{"warp", "cache", "mshr", "noc", "dram", "sched", "prefetch"}
+}
+
+// Gauges is the raw material for one interval sample, gathered by the GPU
+// loop at a window boundary. Counter fields are cumulative; the Tracer
+// turns them into per-window rates.
+type Gauges struct {
+	// Instructions, L1Accesses, L1Hits are cumulative run totals.
+	Instructions int64
+	L1Accesses   int64
+	L1Hits       int64
+	// MSHROccupancy is the current total of in-flight L1 MSHR entries
+	// across SMs.
+	MSHROccupancy int64
+	// DRAMQueueDepth is the current number of requests inside the memory
+	// system (scheduled events plus MSHR-stalled retries).
+	DRAMQueueDepth int64
+	// OutstandingPrefetches is the current number of prefetches issued to
+	// the memory system but not yet filled.
+	OutstandingPrefetches int64
+}
+
+// Sample is one interval time-series point. Rate fields cover the window
+// ending at Cycle; gauge fields are instantaneous.
+type Sample struct {
+	Cycle                 int64
+	Instructions          int64 // cumulative
+	IPC                   float64
+	L1HitRate             float64
+	MSHROccupancy         int64
+	DRAMQueueDepth        int64
+	OutstandingPrefetches int64
+}
+
+// Sink consumes the Tracer's output. WriteEvents receives each filled
+// block; the slice is reused after the call returns, so implementations
+// must copy what they keep. WriteSamples receives the full interval series
+// once, at Close time. Sinks are driven from the (single-threaded)
+// simulation loop and need no locking.
+type Sink interface {
+	WriteEvents([]Event) error
+	WriteSamples([]Sample) error
+	Close() error
+}
+
+// DefaultBlockEvents is the capture block capacity: large enough that sink
+// hand-offs are rare, small enough (~320 KiB) that an idle tracer is cheap.
+const DefaultBlockEvents = 8192
+
+// Tracer captures events into a pooled block buffer and interval samples
+// into a time series. The zero value is not usable; create with New. A nil
+// *Tracer is the disabled state — components guard every emission with a
+// nil check, which is the entire cost of disabled tracing.
+type Tracer struct {
+	sink  Sink
+	block []Event
+	n     int
+	now   int64
+
+	emitted int64
+	dropped int64
+	err     error
+
+	interval int64
+	samples  []Sample
+	last     Gauges
+}
+
+// New builds a Tracer over sink. interval is the time-series window in
+// cycles (0 disables interval sampling).
+func New(sink Sink, interval int64) *Tracer {
+	return NewSized(sink, interval, DefaultBlockEvents)
+}
+
+// NewSized is New with an explicit capture block capacity (tests use tiny
+// blocks to exercise the flush path).
+func NewSized(sink Sink, interval int64, blockEvents int) *Tracer {
+	if blockEvents <= 0 {
+		blockEvents = DefaultBlockEvents
+	}
+	if interval < 0 {
+		interval = 0
+	}
+	return &Tracer{
+		sink:     sink,
+		block:    make([]Event, blockEvents),
+		interval: interval,
+	}
+}
+
+// Advance sets the clock all subsequent emissions are stamped with. The
+// simulation loop calls it once per executed cycle, so emitters deep in
+// component code need no cycle parameter.
+func (t *Tracer) Advance(cycle int64) { t.now = cycle }
+
+// Now returns the current event timestamp.
+func (t *Tracer) Now() int64 { return t.now }
+
+// Emit records one event, stamping it with the current cycle. When the
+// block fills it is flushed to the sink and reused; after a sink error the
+// tracer keeps counting but drops events.
+func (t *Tracer) Emit(e Event) {
+	e.Cycle = t.now
+	t.block[t.n] = e
+	t.n++
+	if t.n == len(t.block) {
+		t.flush()
+	}
+}
+
+func (t *Tracer) flush() {
+	if t.n == 0 {
+		return
+	}
+	if t.err == nil {
+		if err := t.sink.WriteEvents(t.block[:t.n]); err != nil {
+			t.err = err
+		}
+	}
+	if t.err == nil {
+		t.emitted += int64(t.n)
+	} else {
+		t.dropped += int64(t.n)
+	}
+	t.n = 0
+}
+
+// Interval returns the sampling window in cycles (0 = sampling off).
+func (t *Tracer) Interval() int64 { return t.interval }
+
+// SampleDue reports whether cycle is an interval boundary.
+func (t *Tracer) SampleDue(cycle int64) bool {
+	return t.interval > 0 && cycle%t.interval == 0
+}
+
+// RecordSample appends one time-series point from the gauges gathered at
+// cycle, deriving per-window rates from the previous cumulative values.
+// The GPU loop calls it at every window boundary — including boundaries
+// inside cycle-skipped gaps, where the (frozen) gauges yield zero rates,
+// so the series has no holes.
+func (t *Tracer) RecordSample(cycle int64, g Gauges) {
+	s := Sample{
+		Cycle:                 cycle,
+		Instructions:          g.Instructions,
+		MSHROccupancy:         g.MSHROccupancy,
+		DRAMQueueDepth:        g.DRAMQueueDepth,
+		OutstandingPrefetches: g.OutstandingPrefetches,
+	}
+	if t.interval > 0 {
+		s.IPC = float64(g.Instructions-t.last.Instructions) / float64(t.interval)
+	}
+	if dAcc := g.L1Accesses - t.last.L1Accesses; dAcc > 0 {
+		s.L1HitRate = float64(g.L1Hits-t.last.L1Hits) / float64(dAcc)
+	}
+	t.last = g
+	t.samples = append(t.samples, s)
+}
+
+// Samples returns the interval series captured so far.
+func (t *Tracer) Samples() []Sample { return t.samples }
+
+// Emitted returns the number of events delivered to the sink.
+func (t *Tracer) Emitted() int64 { return t.emitted + int64(t.n) }
+
+// Dropped returns the number of events lost to sink errors.
+func (t *Tracer) Dropped() int64 { return t.dropped }
+
+// Close flushes buffered events, hands the interval series to the sink,
+// and closes the sink. It returns the first error encountered anywhere in
+// the trace's lifetime.
+func (t *Tracer) Close() error {
+	t.flush()
+	if t.err == nil {
+		if err := t.sink.WriteSamples(t.samples); err != nil {
+			t.err = err
+		}
+	}
+	if err := t.sink.Close(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// CollectSink is an in-memory Sink for tests and for the bit-identity
+// checks: it copies every event and sample it is handed.
+type CollectSink struct {
+	Events  []Event
+	Samples []Sample
+	Closed  bool
+}
+
+// WriteEvents implements Sink.
+func (s *CollectSink) WriteEvents(b []Event) error {
+	s.Events = append(s.Events, b...)
+	return nil
+}
+
+// WriteSamples implements Sink.
+func (s *CollectSink) WriteSamples(b []Sample) error {
+	s.Samples = append(s.Samples, b...)
+	return nil
+}
+
+// Close implements Sink.
+func (s *CollectSink) Close() error {
+	s.Closed = true
+	return nil
+}
+
+// CountByCategory tallies collected events per trace category.
+func (s *CollectSink) CountByCategory() map[string]int {
+	m := make(map[string]int)
+	for _, e := range s.Events {
+		m[e.Kind.Category()]++
+	}
+	return m
+}

@@ -1,0 +1,214 @@
+package trace
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestKindMetadataComplete(t *testing.T) {
+	cats := make(map[string]bool)
+	for _, c := range Categories() {
+		cats[c] = true
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		if k.String() == "unknown" || k.String() == "" {
+			t.Errorf("kind %d has no export name", k)
+		}
+		if !cats[k.Category()] {
+			t.Errorf("kind %s category %q is not in the taxonomy", k, k.Category())
+		}
+	}
+	if numKinds.String() != "unknown" || numKinds.Category() != "unknown" {
+		t.Error("out-of-range kinds must map to unknown")
+	}
+}
+
+// TestBlockFlush drives a tiny capture block so every hand-off path runs:
+// events must reach the sink in emission order with the Advance clock
+// stamped on, across multiple block reuses.
+func TestBlockFlush(t *testing.T) {
+	sink := &CollectSink{}
+	tr := NewSized(sink, 0, 4)
+	const n = 11
+	for i := 0; i < n; i++ {
+		tr.Advance(int64(i * 10))
+		tr.Emit(Event{Kind: KindL1Hit, Unit: 1, Warp: int32(i)})
+	}
+	if got := tr.Emitted(); got != n {
+		t.Fatalf("Emitted = %d, want %d", got, n)
+	}
+	// Two full blocks are already at the sink; the tail is still buffered.
+	if len(sink.Events) != 8 {
+		t.Fatalf("pre-close sink has %d events, want 8", len(sink.Events))
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !sink.Closed {
+		t.Fatal("sink not closed")
+	}
+	if len(sink.Events) != n {
+		t.Fatalf("sink has %d events, want %d", len(sink.Events), n)
+	}
+	for i, e := range sink.Events {
+		if e.Warp != int32(i) || e.Cycle != int64(i*10) {
+			t.Fatalf("event %d out of order or mis-stamped: %+v", i, e)
+		}
+	}
+}
+
+func TestRecordSampleRates(t *testing.T) {
+	tr := New(&CollectSink{}, 100)
+	tr.RecordSample(100, Gauges{Instructions: 50, L1Accesses: 10, L1Hits: 5, MSHROccupancy: 3})
+	tr.RecordSample(200, Gauges{Instructions: 150, L1Accesses: 10, L1Hits: 5, DRAMQueueDepth: 7})
+	s := tr.Samples()
+	if len(s) != 2 {
+		t.Fatalf("samples = %d, want 2", len(s))
+	}
+	if s[0].IPC != 0.5 || s[0].L1HitRate != 0.5 || s[0].MSHROccupancy != 3 {
+		t.Fatalf("first sample wrong: %+v", s[0])
+	}
+	// Second window: 100 instructions over 100 cycles, no new L1 accesses
+	// (the hit-rate guard must yield 0, not NaN).
+	if s[1].IPC != 1.0 || s[1].L1HitRate != 0 || s[1].DRAMQueueDepth != 7 {
+		t.Fatalf("second sample wrong: %+v", s[1])
+	}
+	if math.IsNaN(s[1].L1HitRate) {
+		t.Fatal("hit rate NaN on an access-free window")
+	}
+}
+
+func TestSampleDue(t *testing.T) {
+	tr := New(&CollectSink{}, 64)
+	for _, c := range []struct {
+		cycle int64
+		due   bool
+	}{{0, true}, {1, false}, {63, false}, {64, true}, {128, true}} {
+		if got := tr.SampleDue(c.cycle); got != c.due {
+			t.Errorf("SampleDue(%d) = %v, want %v", c.cycle, got, c.due)
+		}
+	}
+	if off := New(&CollectSink{}, 0); off.SampleDue(0) {
+		t.Error("interval 0 must disable sampling")
+	}
+}
+
+// errSink fails every write, exercising the drop-and-keep-counting path.
+type errSink struct{ err error }
+
+func (s *errSink) WriteEvents([]Event) error   { return s.err }
+func (s *errSink) WriteSamples([]Sample) error { return s.err }
+func (s *errSink) Close() error                { return nil }
+
+func TestSinkErrorDropsAndSurfacesOnClose(t *testing.T) {
+	boom := errors.New("disk full")
+	tr := NewSized(&errSink{err: boom}, 0, 2)
+	for i := 0; i < 5; i++ {
+		tr.Emit(Event{Kind: KindL1Miss})
+	}
+	if err := tr.Close(); !errors.Is(err, boom) {
+		t.Fatalf("Close = %v, want the sink error", err)
+	}
+	if tr.Dropped() != 5 {
+		t.Fatalf("Dropped = %d, want 5", tr.Dropped())
+	}
+}
+
+// TestJSONSinkIsValidChromeTrace round-trips the exporter's output through
+// encoding/json: the document must parse and carry every event and every
+// per-sample counter series, with DRAM units offset into their own pid
+// range.
+func TestJSONSinkIsValidChromeTrace(t *testing.T) {
+	var buf strings.Builder
+	tr := NewSized(NewJSONSink(&buf), 10, 3)
+	tr.Advance(5)
+	tr.Emit(Event{Kind: KindWarpIssue, Unit: 0, Warp: 2, PC: 0x40, Arg: 7})
+	tr.Emit(Event{Kind: KindL1Miss, Unit: 1, Warp: 3, Line: 0xABC, Arg: 1})
+	tr.Emit(Event{Kind: KindDRAMEnter, Unit: 2, Warp: 1, Arg: 12})
+	tr.RecordSample(10, Gauges{Instructions: 42})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			TS   int64          `json:"ts"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &doc); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	// 3 instant events + 5 counter series for the one sample.
+	if len(doc.TraceEvents) != 8 {
+		t.Fatalf("traceEvents = %d, want 8", len(doc.TraceEvents))
+	}
+	byName := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		byName[e.Name]++
+		switch e.Ph {
+		case "i":
+			if e.TS != 5 {
+				t.Errorf("instant %s at ts %d, want 5", e.Name, e.TS)
+			}
+		case "C":
+			if e.Cat != "interval" || e.PID != 0 || e.TS != 10 {
+				t.Errorf("bad counter event %+v", e)
+			}
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+		if e.Name == "dram_enter" && e.PID != dramPIDBase+2 {
+			t.Errorf("dram event pid = %d, want %d", e.PID, dramPIDBase+2)
+		}
+		if e.Name == "warp_issue" && (e.PID != 0 || e.TID != 2) {
+			t.Errorf("warp event on pid/tid %d/%d, want 0/2", e.PID, e.TID)
+		}
+	}
+	for _, want := range []string{"warp_issue", "l1_miss", "dram_enter",
+		"ipc", "l1_hit_rate", "mshr_occupancy", "dram_queue_depth", "outstanding_prefetches"} {
+		if byName[want] != 1 {
+			t.Errorf("event %q appears %d times, want 1", want, byName[want])
+		}
+	}
+}
+
+func TestWriteIntervalCSV(t *testing.T) {
+	var buf strings.Builder
+	err := WriteIntervalCSV(&buf, []Sample{
+		{Cycle: 64, Instructions: 32, IPC: 0.5, L1HitRate: 0.25, MSHROccupancy: 2, DRAMQueueDepth: 3, OutstandingPrefetches: 1},
+		{Cycle: 128, Instructions: 96, IPC: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv has %d lines, want header + 2 rows:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "cycle,instructions,ipc,l1_hit_rate,mshr_occupancy,dram_queue_depth,outstanding_prefetches" {
+		t.Fatalf("bad header %q", lines[0])
+	}
+	if lines[1] != "64,32,0.500000,0.250000,2,3,1" {
+		t.Fatalf("bad row %q", lines[1])
+	}
+}
+
+func TestCollectSinkCountByCategory(t *testing.T) {
+	s := &CollectSink{Events: []Event{
+		{Kind: KindWarpIssue}, {Kind: KindWarpStall}, {Kind: KindL2Enter}, {Kind: KindDRAMLeave},
+	}}
+	got := s.CountByCategory()
+	if got["warp"] != 2 || got["dram"] != 2 {
+		t.Fatalf("CountByCategory = %v", got)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package apres_test
+
+const raceEnabled = false

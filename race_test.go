@@ -1,0 +1,7 @@
+//go:build race
+
+package apres_test
+
+// raceEnabled reports that the race detector is active: allocation-budget
+// tests skip themselves, since instrumentation inflates allocs/op.
+const raceEnabled = true
