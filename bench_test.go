@@ -320,8 +320,10 @@ func BenchmarkFig10ByJobs(b *testing.B) {
 // simulated per second) — useful when sizing new experiments. The skip
 // sub-benchmarks run the event-driven loop as shipped; the noskip pair
 // forces the cycle-by-cycle loop, so the ratio is the fast-forwarding win
-// on memory-intensive workloads. BENCH_sim.json records the headline
-// numbers.
+// on memory-intensive workloads; the par{2,4,8} legs shard the per-SM loop
+// across that many worker goroutines (bit-identical results — the ratio to
+// skip is the epoch/barrier engine's wall-clock win at the paper's 15 SMs).
+// BENCH_sim.json records the headline numbers.
 // TestSimulatorAllocBudget guards the zero-allocation hot path: a full
 // simulation at bench scale must stay within a small fixed allocation
 // budget (BENCH_sim.json records ~3.9k for SP and ~6.1k for BFS, all from
@@ -365,6 +367,9 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		}{
 			{"skip", nil},
 			{"noskip", []gpu.Option{gpu.WithoutCycleSkipping()}},
+			{"par2", []gpu.Option{gpu.WithParallelSMs(2)}},
+			{"par4", []gpu.Option{gpu.WithParallelSMs(4)}},
+			{"par8", []gpu.Option{gpu.WithParallelSMs(8)}},
 		} {
 			b.Run(app+"/"+mode.name, func(b *testing.B) {
 				b.ReportAllocs()

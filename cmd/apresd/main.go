@@ -54,6 +54,7 @@ func main() {
 		scale    = flag.Float64("scale", 1, "workload iteration scale factor")
 		sms      = flag.Int("sms", 0, "override number of SMs (0 = Table III value)")
 		jobs     = flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		smJobs   = flag.Int("smjobs", 0, "default per-SM parallelism for each simulation; requests override with \"sm_jobs\" (0|1 = serial engine)")
 		timeout  = flag.Duration("timeout", 10*time.Minute, "per-request simulation budget (0 = unbounded)")
 		drain    = flag.Duration("drain", 30*time.Second, "how long SIGTERM waits for in-flight requests")
 		traceDir = flag.String("tracedir", filepath.Join(os.TempDir(), "apres-traces"),
@@ -69,6 +70,7 @@ func main() {
 
 	r := harness.NewRunner(*scale, *sms)
 	r.Jobs = *jobs
+	r.SMJobs = *smJobs
 	if *store != "" {
 		st, err := resultstore.Open(*store, *memLRU)
 		if err != nil {
@@ -84,8 +86,8 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	log.Printf("apresd %s listening on %s (scale=%g sms=%d jobs=%d timeout=%v)",
-		version.Stamp(), *addr, *scale, *sms, *jobs, *timeout)
+	log.Printf("apresd %s listening on %s (scale=%g sms=%d jobs=%d smjobs=%d timeout=%v)",
+		version.Stamp(), *addr, *scale, *sms, *jobs, *smJobs, *timeout)
 	if err := srv.ListenAndServe(ctx, *addr, *drain); err != nil {
 		log.Fatalf("apresd: %v", err)
 	}

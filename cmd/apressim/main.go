@@ -55,6 +55,7 @@ func main() {
 		l1KB      = flag.Int("l1kb", 0, "override L1 size in KiB (0 = Table III value)")
 		scale     = flag.Float64("scale", 1, "workload iteration scale factor")
 		jobs      = flag.Int("jobs", 0, "max concurrent simulations when multiple workloads are given (0 = GOMAXPROCS)")
+		smJobs    = flag.Int("smjobs", 0, "shard each simulation's per-SM loop across this many goroutines (0|1 = serial engine; results are bit-identical)")
 		loadstats = flag.Bool("loadstats", false, "collect per-PC load characterisation (Table I)")
 		asJSON    = flag.Bool("json", false, "emit the full result as JSON instead of text")
 		list      = flag.Bool("list", false, "list workloads and exit")
@@ -152,6 +153,7 @@ func main() {
 	// shares warm results with apresd and future invocations.
 	runner := harness.NewRunner(*scale, 0)
 	runner.Jobs = *jobs
+	runner.SMJobs = *smJobs
 	if *storeDir != "" && *serverURL == "" {
 		st, err := resultstore.Open(*storeDir, 64)
 		if err != nil {
@@ -176,7 +178,7 @@ func main() {
 			defer wg.Done()
 			t0 := time.Now()
 			if *serverURL != "" {
-				res, cached, err := remoteSimulate(*serverURL, w.Name(), cfg, *loadstats)
+				res, cached, err := remoteSimulate(*serverURL, w.Name(), cfg, *loadstats, *smJobs)
 				outs[i] = outcome{res: res, elapsed: time.Since(t0), cached: cached, err: err}
 				return
 			}
@@ -268,11 +270,12 @@ func main() {
 
 // remoteSimulate delegates one run to an apresd daemon via POST
 // /v1/simulate with the full configuration inline.
-func remoteSimulate(base, app string, cfg config.Config, loadStats bool) (gpu.Result, bool, error) {
+func remoteSimulate(base, app string, cfg config.Config, loadStats bool, smJobs int) (gpu.Result, bool, error) {
 	body, err := json.Marshal(server.SimulateRequest{
 		Workload:     app,
 		ConfigInline: &cfg,
 		LoadStats:    loadStats,
+		SMJobs:       smJobs,
 	})
 	if err != nil {
 		return gpu.Result{}, false, err

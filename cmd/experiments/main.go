@@ -41,6 +41,7 @@ func main() {
 		sms      = flag.Int("sms", 0, "override SM count (0 = Table III's 15)")
 		format   = flag.String("format", harness.FormatText, "figure output format: text|csv|md")
 		jobs     = flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		smJobs   = flag.Int("smjobs", 0, "shard each simulation's per-SM loop across this many goroutines (0|1 = serial engine; results are bit-identical)")
 		storeDir = flag.String("store", "", "persistent result-store directory shared with apresd (empty = off)")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
@@ -86,6 +87,7 @@ func main() {
 
 	r := harness.NewRunner(*scale, *sms)
 	r.Jobs = *jobs
+	r.SMJobs = *smJobs
 	if *storeDir != "" {
 		st, err := resultstore.Open(*storeDir, 256)
 		if err != nil {

@@ -134,6 +134,16 @@ func (l *LoadStat) MissRate() float64 {
 	return float64(l.Misses) / float64(l.Refs)
 }
 
+// MemPort is the SM's injection point into the shared memory system. The
+// serial engine wires the dram.MemSystem in directly; the parallel engine
+// substitutes a per-SM buffer that defers the injection to its barrier so
+// SMs on different goroutines never touch shared state mid-epoch. Request
+// is fire-and-forget (responses come back through HandleFill), which is
+// what makes the deferred replay observationally identical.
+type MemPort interface {
+	Request(req arch.MemReq, cycle int64)
+}
+
 // SM is one streaming multiprocessor.
 type SM struct {
 	id   int
@@ -144,7 +154,7 @@ type SM struct {
 	pf    prefetch.Prefetcher
 	sap   *prefetch.SAP // non-nil only under APRES coupling
 	l1    *mem.Cache
-	mem   *dram.MemSystem
+	mem   MemPort
 
 	warps       []warpCtx
 	alive       int
@@ -205,7 +215,7 @@ type SM struct {
 
 // NewSM builds an SM running the given kernel slice. The scheduler is
 // constructed here so it can observe the SM through the View interface.
-func NewSM(id int, cfg config.Config, kern kernel.Kernel, memSys *dram.MemSystem, st *stats.Stats) (*SM, error) {
+func NewSM(id int, cfg config.Config, kern kernel.Kernel, memSys MemPort, st *stats.Stats) (*SM, error) {
 	nWarps := kern.WarpsPerSM
 	if nWarps <= 0 || nWarps > cfg.WarpsPerSM {
 		nWarps = cfg.WarpsPerSM

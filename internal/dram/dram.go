@@ -13,6 +13,8 @@
 package dram
 
 import (
+	"sort"
+
 	"apres/internal/arch"
 	"apres/internal/config"
 	"apres/internal/mem"
@@ -114,6 +116,25 @@ type MemSystem struct {
 	returnLeg int64
 	responses []Response // scratch, reused across Tick calls
 	tr        *trace.Tracer
+	// hitEvents counts evL2Hit entries currently in the heap, so
+	// NextResponseCycle knows whether the head-cycle bound must be padded
+	// by the DRAM return leg without scanning the heap.
+	hitEvents int
+	// lastTick is the most recent cycle Tick ran at; every event scheduled
+	// at or before it has been popped. NextFillCycle uses it to discard
+	// stale fillCycles entries lazily.
+	lastTick int64
+	// fillCycles mirrors the cycles of evDRAMFill events as a min-heap of
+	// plain int64s, maintained only when trackFills is on (the parallel
+	// engine enables it). It makes NextFillCycle O(log n) instead of an
+	// O(n) heap scan per epoch-planning call; the serial engine never pays
+	// for it.
+	fillCycles []int64
+	trackFills bool
+	// peekEvents/peekResps are scratch for PeekHitResponses, reused across
+	// calls like the responses slice.
+	peekEvents []event
+	peekResps  []Response
 }
 
 // SetTracer attaches the trace sink; nil disables tracing (the default).
@@ -208,12 +229,104 @@ func (m *MemSystem) access(p int, req arch.MemReq, cycle int64) {
 func (m *MemSystem) push(e event) {
 	e.seq = m.seq
 	m.seq++
+	if e.kind == evL2Hit {
+		m.hitEvents++
+	} else if m.trackFills {
+		m.fillCycles = pushInt64(m.fillCycles, e.cycle)
+	}
 	m.events.push(e)
+}
+
+// pushInt64 inserts v into a binary min-heap of int64s.
+func pushInt64(h []int64, v int64) []int64 {
+	h = append(h, v)
+	for i := len(h) - 1; i > 0; {
+		p := (i - 1) / 2
+		if h[p] <= h[i] {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	return h
+}
+
+// popInt64 removes the minimum from a binary min-heap of int64s.
+func popInt64(h []int64) []int64 {
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	for i := 0; ; {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && h[c+1] < h[c] {
+			c++
+		}
+		if h[c] >= h[i] {
+			break
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+	return h
+}
+
+// TrackFills enables (or disables) the fill-cycle mirror heap behind
+// NextFillCycle. The parallel engine turns it on at run start, before any
+// request enters the system; the serial engine leaves it off and pays
+// nothing.
+func (m *MemSystem) TrackFills(on bool) { m.trackFills = on }
+
+// NextFillCycle returns the cycle of the earliest scheduled DRAM fill
+// event, or -1 when none is scheduled. Only valid while TrackFills is on.
+// The parallel engine uses it as an epoch bound: inside a window with no
+// fill pops, every response the memory system can produce is an L2 hit
+// whose timing and target were fixed when the request was issued — which
+// is what makes the engine's hit lookahead exact.
+func (m *MemSystem) NextFillCycle() int64 {
+	for len(m.fillCycles) > 0 && m.fillCycles[0] <= m.lastTick {
+		m.fillCycles = popInt64(m.fillCycles)
+	}
+	if len(m.fillCycles) == 0 {
+		return -1
+	}
+	return m.fillCycles[0]
+}
+
+// PeekHitResponses returns, without mutating the event heap, the responses
+// that evL2Hit events scheduled at or before upTo will produce, in the
+// exact (cycle, seq) order Tick will pop them. The parallel engine calls it
+// at epoch start to pre-enqueue hit responses into the NoC so workers can
+// deliver them inside the epoch; the later barrier drain re-pops the same
+// events for real (stats, heap bookkeeping) and skips the duplicate
+// enqueue. The returned slice is reused across calls.
+func (m *MemSystem) PeekHitResponses(upTo int64) []Response {
+	m.peekEvents = m.peekEvents[:0]
+	for _, e := range m.events {
+		if e.kind == evL2Hit && e.cycle <= upTo {
+			m.peekEvents = append(m.peekEvents, e)
+		}
+	}
+	sort.Slice(m.peekEvents, func(i, j int) bool {
+		a, b := &m.peekEvents[i], &m.peekEvents[j]
+		if a.cycle != b.cycle {
+			return a.cycle < b.cycle
+		}
+		return a.seq < b.seq
+	})
+	m.peekResps = m.peekResps[:0]
+	for _, e := range m.peekEvents {
+		m.peekResps = append(m.peekResps, Response{Req: e.req, ReadyCycle: e.cycle})
+	}
+	return m.peekResps
 }
 
 // Tick advances the memory system to the given cycle and returns the
 // responses that completed. The returned slice is reused across calls.
 func (m *MemSystem) Tick(cycle int64) []Response {
+	m.lastTick = cycle
 	m.responses = m.responses[:0]
 	// Retry MSHR-stalled requests first so freed entries are reused in
 	// FIFO order.
@@ -233,6 +346,9 @@ func (m *MemSystem) Tick(cycle int64) []Response {
 	}
 	for !m.events.empty() && m.events.peekCycle() <= cycle {
 		e := m.events.pop()
+		if e.kind == evL2Hit {
+			m.hitEvents--
+		}
 		switch e.kind {
 		case evL2Hit:
 			m.responses = append(m.responses, Response{Req: e.req, ReadyCycle: e.cycle})
@@ -275,6 +391,26 @@ func (m *MemSystem) NextEventCycle(cycle int64) int64 {
 		return -1
 	}
 	return m.events.peekCycle()
+}
+
+// NextResponseCycle returns a conservative (never late) lower bound on the
+// earliest cycle at which any currently scheduled event can produce a
+// response toward an SM, or -1 when no events are scheduled. An L2 hit
+// event at cycle t yields a response ready at t; a DRAM fill at t wakes its
+// waiters at t+returnLeg, so when the heap holds no hit events the head
+// cycle can be padded by the return leg. MSHR-stalled retries need no term
+// of their own: a retry at cycle c first responds at c+L2Latency, beyond
+// the parallel engine's epoch-length cap, which is the one caller of this
+// bound.
+func (m *MemSystem) NextResponseCycle() int64 {
+	if m.events.empty() {
+		return -1
+	}
+	t := m.events.peekCycle()
+	if m.hitEvents == 0 {
+		t += m.returnLeg
+	}
+	return t
 }
 
 // QueueDepth returns the number of requests currently inside the memory

@@ -74,6 +74,16 @@ type GPU struct {
 	noSkip           bool
 	tr               *trace.Tracer
 
+	// Parallel-engine state (nil/zero in serial runs): smJobs is the worker
+	// count from WithParallelSMs, ports the per-SM deferred-injection
+	// buffers, parTr/parSink the per-SM local tracers feeding the barrier
+	// merge, and eng the engine while RunContext is inside runParallel.
+	smJobs  int
+	ports   []smPort
+	parTr   []*trace.Tracer
+	parSink []trace.CollectSink
+	eng     *parallelEngine
+
 	// wake caches each SM's NextWakeup bound from its last Tick. On any
 	// cycle before wake[i] with no NoC delivery, SM i provably does
 	// nothing but record one issue stall, so the loop accounts that
@@ -111,6 +121,20 @@ func WithTrace(tr *trace.Tracer) Option {
 	return func(g *GPU) { g.tr = tr }
 }
 
+// WithParallelSMs shards the per-SM simulation loop across n worker
+// goroutines with deterministic epoch/barrier synchronisation at the
+// NoC-injection boundary: workers advance disjoint SM partitions through
+// provably interaction-free windows, buffering memory-system injections,
+// and a barrier replays them in canonical (cycle, SM, issue-order) order so
+// the shared NoC/L2/DRAM side observes exactly the serial event sequence.
+// Results — cycles, every statistic, trace streams, interval samples — are
+// bit-identical to the serial engine for every n (parallel_equiv_test.go
+// enforces it). n <= 1 keeps the default serial loop; n is clamped to the
+// SM count.
+func WithParallelSMs(n int) Option {
+	return func(g *GPU) { g.smJobs = n }
+}
+
 // WithoutCycleSkipping forces the run loop to tick every cycle instead of
 // event-driven fast-forwarding over provably idle ones. Results are
 // bit-identical either way (the equivalence tests enforce it); this exists
@@ -132,13 +156,24 @@ func New(cfg config.Config, kern kernel.Kernel, opts ...Option) (*GPU, error) {
 	for _, o := range opts {
 		o(g)
 	}
+	if g.smJobs > cfg.NumSMs {
+		g.smJobs = cfg.NumSMs
+	}
+	parallel := g.smJobs > 1
 	g.memSys = dram.New(cfg, &g.shared)
 	g.net = noc.New(cfg.NumSMs, cfg.NoCBytesPerCycle, &g.shared)
 	g.smStats = make([]stats.Stats, cfg.NumSMs)
 	g.wake = make([]int64, cfg.NumSMs)
 	g.sms = make([]*core.SM, cfg.NumSMs)
+	if parallel {
+		g.ports = make([]smPort, cfg.NumSMs)
+	}
 	for i := 0; i < cfg.NumSMs; i++ {
-		sm, err := core.NewSM(i, cfg, kern, g.memSys, &g.smStats[i])
+		var port core.MemPort = g.memSys
+		if parallel {
+			port = &g.ports[i]
+		}
+		sm, err := core.NewSM(i, cfg, kern, port, &g.smStats[i])
 		if err != nil {
 			return nil, err
 		}
@@ -150,8 +185,21 @@ func New(cfg config.Config, kern kernel.Kernel, opts ...Option) (*GPU, error) {
 	if g.tr != nil {
 		g.memSys.SetTracer(g.tr)
 		g.net.SetTracer(g.tr)
-		for _, sm := range g.sms {
-			sm.SetTracer(g.tr)
+		if parallel {
+			// Each SM captures its own events into a local tracer; the
+			// barrier merges them into the shared stream in serial order.
+			g.parSink = make([]trace.CollectSink, cfg.NumSMs)
+			g.parTr = make([]*trace.Tracer, cfg.NumSMs)
+			for i := range g.sms {
+				g.parTr[i] = trace.NewSized(&g.parSink[i], 0, parTraceBlockEvents)
+				g.sms[i].SetTracer(g.parTr[i])
+				g.ports[i].tr = g.parTr[i]
+			}
+			g.net.SetSMTracers(g.parTr)
+		} else {
+			for _, sm := range g.sms {
+				sm.SetTracer(g.tr)
+			}
 		}
 	}
 	return g, nil
@@ -181,6 +229,9 @@ const ctxCheckInterval = 4096
 // warp or queued LSU/prefetch work — report "next cycle" and run
 // cycle-by-cycle exactly as before.
 func (g *GPU) RunContext(ctx context.Context, kernName string) (Result, error) {
+	if g.smJobs > 1 {
+		return g.runParallel(ctx, kernName)
+	}
 	maxCycles := g.cfg.MaxCycles
 	if maxCycles <= 0 {
 		maxCycles = 1 << 62
@@ -247,6 +298,12 @@ func (g *GPU) RunContext(ctx context.Context, kernName string) (Result, error) {
 			cycle = g.skipTo(cycle, maxCycles)
 		}
 	}
+	return g.finish(kernName, cycle, hitMax), nil
+}
+
+// finish assembles the Result once the run loop (serial or parallel) has
+// stopped at cycle, emitting the tail interval sample first.
+func (g *GPU) finish(kernName string, cycle int64, hitMax bool) Result {
 	if g.tr != nil && g.tr.Interval() > 0 {
 		// Tail sample so the series always covers the whole run, even when
 		// the final cycle is not a window boundary.
@@ -254,7 +311,6 @@ func (g *GPU) RunContext(ctx context.Context, kernName string) (Result, error) {
 			g.sampleTrace(cycle)
 		}
 	}
-
 	res := Result{
 		Config:       g.cfg,
 		Kernel:       kernName,
@@ -267,13 +323,17 @@ func (g *GPU) RunContext(ctx context.Context, kernName string) (Result, error) {
 		res.PerSM[i] = g.smStats[i]
 		res.Total.Add(&g.smStats[i])
 	}
+	// The NoC defers BytesToSM accounting into per-SM accumulators so
+	// parallel workers can deliver concurrently; fold them in before the
+	// shared block is summed.
+	g.net.FlushStats()
 	res.Total.Add(&g.shared)
 	res.Total.Cycles = cycle
 	if g.collectLoadStats {
 		res.LoadStats = g.sms[0].LoadStats()
 	}
 	res.Timeline = g.timeline
-	return res, nil
+	return res
 }
 
 // skipTo implements event-driven fast-forwarding. Called after cycle's
@@ -329,13 +389,23 @@ func (g *GPU) skipTo(cycle, maxCycles int64) int64 {
 	from, to := cycle+1, next-1
 	if g.tr != nil {
 		// Stall-transition events from SkipIdle must carry the timestamp the
-		// cycle-by-cycle loop would have used: the gap's first cycle.
+		// cycle-by-cycle loop would have used: the gap's first cycle. In
+		// parallel mode the SMs emit into their local tracers, so those
+		// clocks advance too.
 		g.tr.Advance(from)
+		for _, lt := range g.parTr {
+			lt.Advance(from)
+		}
 	}
 	for _, sm := range g.sms {
 		if !sm.Done() {
 			sm.SkipIdle(from, to)
 		}
+	}
+	if g.eng != nil && g.tr != nil {
+		// Merge the freshly buffered stall events now, before any later
+		// cycle emits to the shared stream ahead of them.
+		g.eng.mergeStrays()
 	}
 	if iv := g.timelineInterval; iv > 0 {
 		for m := from + (iv-from%iv)%iv; m <= to; m += iv {

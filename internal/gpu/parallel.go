@@ -1,0 +1,757 @@
+// Parallel execution engine: deterministic epoch/barrier sharding of the
+// per-SM simulation loop (gpu.WithParallelSMs).
+//
+// SMs interact with each other only through the shared memory system (L2 +
+// DRAM) and the NoC, and both interactions have architectural latency
+// floors. The engine exploits that: it interleaves *serial steps* (one
+// cycle of the exact serial loop body) with *epochs* — windows of cycles in
+// which, provably, no NoC delivery can reach any SM and no memory-system
+// event can produce one. Inside an epoch every SM's evolution depends only
+// on its own state, so disjoint SM partitions advance on worker goroutines
+// in parallel. Memory-system injections made during the epoch are buffered
+// per SM (smPort) and replayed at the barrier in canonical (cycle, SM,
+// issue-order) order — exactly the order the serial loop would have used —
+// so the shared side's state, statistics, and event heap sequencing are
+// bit-identical to a serial run. The equivalence suite
+// (parallel_equiv_test.go, fuzz_equiv_test.go) enforces this for cycles,
+// every statistic, trace streams, and interval samples, at every worker
+// count.
+//
+// Epoch bounds. After a serial step at cycle S-1, cycles [S, E] form a
+// valid epoch when, in untraced runs,
+//
+//	E <  memSys.NextFillCycle()          (no DRAM fill pops in the window)
+//	E <  S + min(L2Latency, DRAMLatency) (no epoch-issued request responds)
+//
+// Inside such a window NoC deliveries DO happen, worker-locally: the NoC's
+// queues, credits, and delivered-byte accounting all decompose per SM, and
+// every response deliverable in the window is known at S. Responses already
+// queued are trivially known; the only events that can produce new ones in
+// the window are L2 hits already in the heap (fills don't pop, by the first
+// bound; epoch-issued requests schedule events at S+L2Latency or later, by
+// the second), and an L2 hit's response — target SM, ready cycle, payload —
+// was fixed when its request was issued. The engine therefore pre-enqueues
+// those hit responses at epoch start (memSys.PeekHitResponses), preserving
+// the exact (cycle, seq) order the serial loop would have enqueued them in,
+// and each worker runs the full serial per-SM cycle body — deliver, fill,
+// done-check, skip-or-tick — against its own queue. The fill bound is what
+// makes the queue *order* exact, not just the membership: a fill response
+// enqueued mid-window would sit ahead of later hits in the FIFO (its waiter
+// set can even grow from this window's own merges), so the window simply
+// never spans one.
+//
+// The barrier drain then replays buffered memory injections in canonical
+// (cycle, SM, issue-order) order, running memSys.Tick at each due cycle
+// interleaved exactly as the serial loop would: the same hit events pop for
+// real (their re-produced responses are recognised by ReadyCycle <= E and
+// not enqueued twice), retries and stats evolve identically, and the shared
+// side ends the epoch bit-identical to a serial run.
+//
+// Traced runs keep two stricter bounds in place of the fill bound —
+//
+//	E <  net.NextDeliveryCycle(S-1)      (no queued response can arrive)
+//	E <  memSys.NextResponseCycle()      (no scheduled event can respond)
+//
+// — so no delivery happens inside a traced epoch at all. Tracing is for
+// debugging, not throughput, and keeping deliveries out of traced windows
+// keeps the shared-stream KindNoCInject events (whose queue-depth argument
+// is observable) at their exact serial emission points.
+package gpu
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"apres/internal/arch"
+	"apres/internal/dram"
+	"apres/internal/trace"
+)
+
+// minEpochCycles is the shortest window worth fanning out; anything shorter
+// runs as serial steps to avoid paying the barrier for trivial gains.
+const minEpochCycles = 8
+
+// parTraceBlockEvents sizes each SM's local capture block in parallel
+// traced runs (small: there are NumSMs of them and flushes go to an
+// in-memory sink).
+const parTraceBlockEvents = 2048
+
+// bufferedReq is one memory-system injection captured by an smPort during
+// an epoch or serial step: the request, its issue cycle, and — when tracing
+// — its position in the SM's local event stream, so the barrier replay can
+// reproduce the serial interleaving of SM-side trace events with the
+// L2Enter/DRAMEnter events the injection emits.
+type bufferedReq struct {
+	req   arch.MemReq
+	cycle int64
+	pos   int64
+}
+
+// smPort is the per-SM core.MemPort in parallel mode: SMs never touch the
+// shared memory system directly; they append here and the barrier replays
+// in canonical order. Request is called from worker goroutines, but each
+// port belongs to exactly one SM and therefore one worker.
+type smPort struct {
+	reqs []bufferedReq
+	tr   *trace.Tracer // the SM's local tracer (nil when untraced)
+	base int64         // local events already merged (stream position origin)
+}
+
+// Request implements core.MemPort.
+func (p *smPort) Request(req arch.MemReq, cycle int64) {
+	pos := int64(-1)
+	if p.tr != nil {
+		pos = p.tr.Emitted() - p.base
+	}
+	p.reqs = append(p.reqs, bufferedReq{req: req, cycle: cycle, pos: pos})
+}
+
+type epochSpan struct{ from, to int64 }
+
+// pendingSample is an interval sample gathered during an epoch's barrier
+// drain, held back until the engine knows whether the run terminated inside
+// the epoch (samples past the termination cycle must be discarded, exactly
+// as the serial loop never reaches those cycles).
+type pendingSample struct {
+	cycle int64
+	gg    trace.Gauges
+}
+
+type parallelEngine struct {
+	g      *GPU
+	jobs   int
+	traced bool
+	// deliver is whether workers run NoC deliveries inside epochs (untraced
+	// runs; see the package comment for why traced runs do not).
+	deliver bool
+	minLat  int64 // min(L2Latency, DRAMLatency)
+
+	// doneAt[i] is the first cycle of the current epoch at which SM i was
+	// observed Done (-1 = not observed), mirroring the serial loop's
+	// before-Tick done check so the termination cycle matches exactly.
+	doneAt []int64
+
+	// lastDeliv[i] is the last cycle of the current epoch at which SM i
+	// received a delivery (-1 = none). The serial loop cannot break while
+	// responses remain queued, so the termination cycle must account for
+	// the epoch's final delivery as well as done observations and memory
+	// activity.
+	lastDeliv []int64
+
+	// hi/ri are per-SM cursors into local event streams / request buffers,
+	// used by the single-threaded barrier drain.
+	hi []int
+	ri []int
+
+	// Interval-sampling boundaries inside the current epoch and the per-SM
+	// gauge snapshots workers record at each of them (values are frozen
+	// across skipped/idle cycles, exactly like the serial sampler's).
+	tlBound []int64
+	trBound []int64
+	tlSnap  [][]int64
+	trSnap  [][]trace.Gauges
+	pendTr  []pendingSample
+
+	// One channel per spawned worker so each receives exactly one span per
+	// epoch. Partition 0 has no channel: the coordinating goroutine runs it
+	// inline between sending spans and waiting, so an epoch costs jobs-1
+	// wakeups, not jobs.
+	work []chan epochSpan
+	wg   sync.WaitGroup
+}
+
+func newParallelEngine(g *GPU) *parallelEngine {
+	n := len(g.sms)
+	jobs := g.smJobs
+	if jobs > n {
+		jobs = n
+	}
+	minLat := int64(g.cfg.L2Latency)
+	if d := int64(g.cfg.DRAMLatency); d < minLat {
+		minLat = d
+	}
+	e := &parallelEngine{
+		g:         g,
+		jobs:      jobs,
+		traced:    g.tr != nil,
+		minLat:    minLat,
+		doneAt:    make([]int64, n),
+		lastDeliv: make([]int64, n),
+		hi:        make([]int, n),
+		ri:        make([]int, n),
+		tlSnap:    make([][]int64, n),
+		trSnap:    make([][]trace.Gauges, n),
+		work:      make([]chan epochSpan, jobs),
+	}
+	e.deliver = !e.traced
+	if e.deliver {
+		// The fill-cycle mirror must cover every fill scheduled from cycle 0
+		// on; the engine exists before the first request enters the system.
+		g.memSys.TrackFills(true)
+	}
+	e.work = e.work[:0]
+	for w := 1; w < jobs; w++ {
+		ch := make(chan epochSpan, 1)
+		e.work = append(e.work, ch)
+		go e.worker(w, ch)
+	}
+	return e
+}
+
+// stop terminates the worker goroutines.
+func (e *parallelEngine) stop() {
+	for _, ch := range e.work {
+		close(ch)
+	}
+}
+
+// worker advances its SM partition (i ≡ w mod jobs) through each epoch it
+// receives. Workers touch only per-SM state — the SM itself, its stats, its
+// wake bound, its NoC queue and credit, its port, its local tracer, its
+// snapshot rows — so the only synchronisation needed is the epoch hand-off
+// itself.
+func (e *parallelEngine) worker(w int, ch <-chan epochSpan) {
+	for sp := range ch {
+		e.advancePartition(w, sp.from, sp.to)
+		e.wg.Done()
+	}
+}
+
+// advancePartition runs every SM of partition w through [from, to].
+func (e *parallelEngine) advancePartition(w int, from, to int64) {
+	for i := w; i < len(e.g.sms); i += e.jobs {
+		e.advanceSM(i, from, to)
+	}
+}
+
+// advanceSM runs one SM through [from, to], mirroring the serial loop's
+// per-SM section cycle for cycle: deliver queued responses, hand them to
+// the SM, done check, cached-wakeup bulk skip (capped so no delivery cycle
+// is jumped over), otherwise Tick. Interval boundaries are snapshotted as
+// they are crossed. Everything touched here is per-SM state — the SM, its
+// stats, its wake bound, its NoC queue and credit, its port, its local
+// tracer, its snapshot rows — which is the whole reason the epoch can fan
+// out.
+func (e *parallelEngine) advanceSM(i int, from, to int64) {
+	g := e.g
+	sm := g.sms[i]
+	ti, si := 0, 0
+	c := from
+	// nd is a conservative-early bound on the SM's next possible delivery
+	// cycle; Deliver is only called when c reaches it, which banks credit at
+	// a subset of the cycles the serial loop banks at — equivalent, because
+	// banking accrues by elapsed cycles (see noc.bankCredit).
+	nd := from
+	if !e.deliver {
+		nd = to + 1
+	}
+	for c <= to {
+		var resp []dram.Response
+		if c >= nd {
+			resp = g.net.Deliver(i, c)
+			if len(resp) > 0 {
+				e.lastDeliv[i] = c
+				for _, r := range resp {
+					sm.HandleFill(r, c)
+				}
+			}
+			nd = g.net.NextDeliveryCycleSM(i, c)
+			if nd < 0 {
+				nd = to + 1
+			}
+		}
+		if sm.Done() {
+			if e.doneAt[i] < 0 {
+				e.doneAt[i] = c
+			}
+			// The serial loop keeps draining a done SM's queue; jump straight
+			// to the next cycle a delivery could land on.
+			if nd > to {
+				break
+			}
+			c = nd
+			continue
+		}
+		if !g.noSkip && len(resp) == 0 && g.wake[i] > c {
+			end := g.wake[i] - 1
+			if end > to {
+				end = to
+			}
+			if nd-1 < end {
+				end = nd - 1
+			}
+			if e.traced {
+				g.parTr[i].Advance(c)
+			}
+			sm.SkipIdle(c, end)
+			ti = e.snapTimeline(i, ti, end)
+			si = e.snapTrace(i, si, end)
+			c = end + 1
+			continue
+		}
+		if e.traced {
+			g.parTr[i].Advance(c)
+		}
+		sm.Tick(c)
+		if !g.noSkip {
+			g.wake[i] = sm.NextWakeup(c)
+		}
+		ti = e.snapTimeline(i, ti, c)
+		si = e.snapTrace(i, si, c)
+		c++
+	}
+	// Remaining boundaries (SM done, or loop exhausted) see frozen gauges.
+	e.snapTimeline(i, ti, to)
+	e.snapTrace(i, si, to)
+}
+
+// snapTimeline records SM i's timeline gauge for every boundary up to and
+// including upTo, starting at boundary index idx; returns the next index.
+func (e *parallelEngine) snapTimeline(i, idx int, upTo int64) int {
+	for idx < len(e.tlBound) && e.tlBound[idx] <= upTo {
+		e.tlSnap[i][idx] = e.g.smStats[i].Instructions
+		idx++
+	}
+	return idx
+}
+
+// snapTrace records SM i's interval-sample gauges for every boundary up to
+// and including upTo. DRAMQueueDepth is shared state and is filled in by
+// the barrier drain at the boundary's exact position in the replay.
+func (e *parallelEngine) snapTrace(i, idx int, upTo int64) int {
+	for idx < len(e.trBound) && e.trBound[idx] <= upTo {
+		st := &e.g.smStats[i]
+		e.trSnap[i][idx] = trace.Gauges{
+			Instructions:          st.Instructions,
+			L1Accesses:            st.L1Accesses,
+			L1Hits:                st.L1Hits,
+			OutstandingPrefetches: st.PrefetchIssued - st.PrefetchFills,
+			MSHROccupancy:         int64(e.g.sms[i].L1().MSHRCount()),
+		}
+		idx++
+	}
+	return idx
+}
+
+// epochEnd returns the last cycle of the longest valid epoch starting at
+// cycle+1 (see the package comment for the bounds in each mode).
+func (e *parallelEngine) epochEnd(cycle, maxCycles int64) int64 {
+	g := e.g
+	end := cycle + e.minLat
+	if e.deliver {
+		if t := g.memSys.NextFillCycle(); t >= 0 && t-1 < end {
+			end = t - 1
+		}
+	} else {
+		if t := g.memSys.NextResponseCycle(); t >= 0 && t-1 < end {
+			end = t - 1
+		}
+		if t := g.net.NextDeliveryCycle(cycle); t >= 0 && t-1 < end {
+			end = t - 1
+		}
+	}
+	if maxCycles-1 < end {
+		end = maxCycles - 1
+	}
+	return end
+}
+
+// appendBounds appends every multiple of iv inside [from, to] (the interval
+// boundaries the serial loop would have sampled at).
+func appendBounds(dst []int64, from, to, iv int64) []int64 {
+	if iv <= 0 {
+		return dst
+	}
+	for m := from + (iv-from%iv)%iv; m <= to; m += iv {
+		dst = append(dst, m)
+	}
+	return dst
+}
+
+func resizeSnap[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+func (e *parallelEngine) prepareEpoch(from, to int64) {
+	for i := range e.doneAt {
+		e.doneAt[i] = -1
+		e.lastDeliv[i] = -1
+	}
+	e.tlBound = appendBounds(e.tlBound[:0], from, to, e.g.timelineInterval)
+	var trIv int64
+	if e.traced {
+		trIv = e.g.tr.Interval()
+	}
+	e.trBound = appendBounds(e.trBound[:0], from, to, trIv)
+	for i := range e.tlSnap {
+		e.tlSnap[i] = resizeSnap(e.tlSnap[i], len(e.tlBound))
+		e.trSnap[i] = resizeSnap(e.trSnap[i], len(e.trBound))
+	}
+	e.pendTr = e.pendTr[:0]
+}
+
+// runEpoch fans [from, to] out to the workers, then drains the barrier:
+// replaying buffered injections (and running the memory system's own
+// cycles) in serial order, merging trace streams, and deciding whether the
+// run terminated inside the epoch. It returns the cycle the main loop
+// should stand at and whether the run is complete.
+func (e *parallelEngine) runEpoch(from, to int64) (int64, bool) {
+	e.prepareEpoch(from, to)
+	g := e.g
+	if e.deliver {
+		// Pre-enqueue the responses of every L2 hit event that will pop
+		// inside the window, in the exact order the serial loop would have
+		// enqueued them (no fill pops in the window, so hits are the only
+		// enqueues and the queue sequences match). Workers then deliver from
+		// their own queues; the barrier drain below pops the same events for
+		// real and skips this duplicate enqueue by ReadyCycle.
+		for _, r := range g.memSys.PeekHitResponses(to) {
+			g.net.Enqueue(r)
+		}
+	}
+	e.wg.Add(len(e.work))
+	for _, ch := range e.work {
+		ch <- epochSpan{from: from, to: to}
+	}
+	e.advancePartition(0, from, to)
+	e.wg.Wait()
+	var lastAct int64
+	if e.traced {
+		lastAct = e.drainEpochTraced(from, to)
+	} else {
+		lastAct = e.drainEpochPlain(from, to)
+	}
+	allDone := true
+	maxDone := from
+	for _, d := range e.doneAt {
+		if d < 0 {
+			allDone = false
+			break
+		}
+		if d > maxDone {
+			maxDone = d
+		}
+	}
+	terminated := allDone && g.memSys.Drained() && !g.net.Pending()
+	end := to
+	if terminated {
+		// The serial loop breaks at the first cycle where every SM has been
+		// observed Done AND the memory side is quiet; within this epoch that
+		// is the latest of the last SM's done observation, the memory
+		// system's last activity, and the last NoC delivery (the loop cannot
+		// break while responses remain queued).
+		end = maxDone
+		if lastAct > end {
+			end = lastAct
+		}
+		for _, d := range e.lastDeliv {
+			if d > end {
+				end = d
+			}
+		}
+	}
+	e.emitSamples(end)
+	return end, terminated
+}
+
+// drainEpochPlain replays the epoch's buffered injections into the memory
+// system in canonical order, interleaved with the memory system's own due
+// cycles, without tracing. Returns the last cycle the memory system did
+// work at (-1 if none) for the termination-cycle computation.
+func (e *parallelEngine) drainEpochPlain(from, to int64) int64 {
+	g := e.g
+	lastAct := int64(-1)
+	for i := range e.ri {
+		e.ri[i] = 0
+	}
+	c := from - 1
+	for {
+		// Next interesting cycle: the memory system's next due work or the
+		// earliest still-buffered request.
+		next := int64(-1)
+		if t := g.memSys.NextEventCycle(c); t >= 0 {
+			next = t
+		}
+		for i := range g.ports {
+			p := &g.ports[i]
+			if e.ri[i] < len(p.reqs) {
+				if rc := p.reqs[e.ri[i]].cycle; next < 0 || rc < next {
+					next = rc
+				}
+			}
+		}
+		if next < 0 || next > to {
+			break
+		}
+		c = next
+		if t := g.memSys.NextEventCycle(c - 1); t >= 0 && t <= c {
+			lastAct = c
+			for _, r := range g.memSys.Tick(c) {
+				// Responses ready inside the window are the L2 hits the
+				// lookahead already enqueued at epoch start (workers may
+				// have delivered them by now); anything later is new.
+				if r.ReadyCycle > to {
+					g.net.Enqueue(r)
+				}
+			}
+		}
+		for i := range g.ports {
+			p := &g.ports[i]
+			for e.ri[i] < len(p.reqs) && p.reqs[e.ri[i]].cycle == c {
+				g.memSys.Request(p.reqs[e.ri[i]].req, c)
+				e.ri[i]++
+			}
+		}
+	}
+	for i := range g.ports {
+		g.ports[i].reqs = g.ports[i].reqs[:0]
+	}
+	return lastAct
+}
+
+// drainEpochTraced is drainEpochPlain plus the trace merge: it walks the
+// epoch cycle by cycle, emits the memory system's shared-stream events at
+// their serial position, splices each SM's local events and injections in
+// (cycle, SM, stream-position) order, and gathers interval samples at
+// boundary cycles.
+func (e *parallelEngine) drainEpochTraced(from, to int64) int64 {
+	g := e.g
+	lastAct := int64(-1)
+	for i := range g.sms {
+		g.parTr[i].Flush()
+		e.hi[i] = 0
+		e.ri[i] = 0
+	}
+	bi := 0
+	for c := from; c <= to; c++ {
+		g.tr.Advance(c)
+		if t := g.memSys.NextEventCycle(c - 1); t >= 0 && t <= c {
+			lastAct = c
+			for _, r := range g.memSys.Tick(c) {
+				g.net.Enqueue(r)
+			}
+		}
+		for i := range g.sms {
+			evs := g.parSink[i].Events
+			p := &g.ports[i]
+			for {
+				eOK := e.hi[i] < len(evs) && evs[e.hi[i]].Cycle <= c
+				rOK := e.ri[i] < len(p.reqs) && p.reqs[e.ri[i]].cycle <= c
+				if rOK && (!eOK || p.reqs[e.ri[i]].pos <= int64(e.hi[i])) {
+					g.memSys.Request(p.reqs[e.ri[i]].req, p.reqs[e.ri[i]].cycle)
+					e.ri[i]++
+				} else if eOK {
+					g.tr.EmitStamped(evs[e.hi[i]])
+					e.hi[i]++
+				} else {
+					break
+				}
+			}
+		}
+		if bi < len(e.trBound) && e.trBound[bi] == c {
+			var gg trace.Gauges
+			for i := range e.trSnap {
+				s := &e.trSnap[i][bi]
+				gg.Instructions += s.Instructions
+				gg.L1Accesses += s.L1Accesses
+				gg.L1Hits += s.L1Hits
+				gg.OutstandingPrefetches += s.OutstandingPrefetches
+				gg.MSHROccupancy += s.MSHROccupancy
+			}
+			gg.DRAMQueueDepth = g.memSys.QueueDepth()
+			e.pendTr = append(e.pendTr, pendingSample{cycle: c, gg: gg})
+			bi++
+		}
+	}
+	for i := range g.sms {
+		g.parSink[i].Events = g.parSink[i].Events[:0]
+		g.ports[i].reqs = g.ports[i].reqs[:0]
+		g.ports[i].base = g.parTr[i].Emitted()
+	}
+	return lastAct
+}
+
+// emitSamples publishes the epoch's timeline points and interval samples up
+// to and including cycle end (the termination cycle, or the epoch end).
+func (e *parallelEngine) emitSamples(end int64) {
+	g := e.g
+	for bi, c := range e.tlBound {
+		if c > end {
+			break
+		}
+		var insts int64
+		for i := range e.tlSnap {
+			insts += e.tlSnap[i][bi]
+		}
+		g.timeline = append(g.timeline, TimelinePoint{Cycle: c, Instructions: insts})
+	}
+	for _, ps := range e.pendTr {
+		if ps.cycle > end {
+			break
+		}
+		g.tr.RecordSample(ps.cycle, ps.gg)
+	}
+}
+
+// drainStep is the serial step's barrier: replay the single cycle's
+// buffered injections (and, when tracing, splice the cycle's local events
+// into the shared stream around them).
+func (e *parallelEngine) drainStep() {
+	g := e.g
+	if !e.traced {
+		for i := range g.ports {
+			p := &g.ports[i]
+			for _, br := range p.reqs {
+				g.memSys.Request(br.req, br.cycle)
+			}
+			p.reqs = p.reqs[:0]
+		}
+		return
+	}
+	for i := range g.sms {
+		lt := g.parTr[i]
+		lt.Flush()
+		evs := g.parSink[i].Events
+		p := &g.ports[i]
+		hi, ri := 0, 0
+		for hi < len(evs) || ri < len(p.reqs) {
+			if ri < len(p.reqs) && (hi >= len(evs) || p.reqs[ri].pos <= int64(hi)) {
+				g.memSys.Request(p.reqs[ri].req, p.reqs[ri].cycle)
+				ri++
+			} else {
+				g.tr.EmitStamped(evs[hi])
+				hi++
+			}
+		}
+		g.parSink[i].Events = evs[:0]
+		p.reqs = p.reqs[:0]
+		p.base = lt.Emitted()
+	}
+}
+
+// mergeStrays merges any events sitting in the local tracers into the
+// shared stream in (cycle, SM) order. skipTo calls it right after bulk
+// SkipIdle so stall-transition events stamped inside the gap reach the
+// shared stream before any later cycle emits.
+func (e *parallelEngine) mergeStrays() {
+	g := e.g
+	for i := range g.sms {
+		g.parTr[i].Flush()
+		e.hi[i] = 0
+	}
+	for {
+		best := -1
+		var bestC int64
+		for i := range g.sms {
+			evs := g.parSink[i].Events
+			if e.hi[i] < len(evs) {
+				if c := evs[e.hi[i]].Cycle; best < 0 || c < bestC {
+					best, bestC = i, c
+				}
+			}
+		}
+		if best < 0 {
+			break
+		}
+		evs := g.parSink[best].Events
+		for e.hi[best] < len(evs) && evs[e.hi[best]].Cycle == bestC {
+			g.tr.EmitStamped(evs[e.hi[best]])
+			e.hi[best]++
+		}
+	}
+	for i := range g.sms {
+		g.parSink[i].Events = g.parSink[i].Events[:0]
+		g.ports[i].base = g.parTr[i].Emitted()
+	}
+}
+
+// runParallel is RunContext's parallel twin: serial steps (the exact serial
+// loop body, with injections buffered and replayed in order) interleaved
+// with worker-fanned epochs. Observable behaviour — cycle count, stats,
+// traces, samples, cancellation — is bit-identical to the serial loop.
+func (g *GPU) runParallel(ctx context.Context, kernName string) (Result, error) {
+	e := newParallelEngine(g)
+	g.eng = e
+	defer func() {
+		e.stop()
+		g.eng = nil
+	}()
+	maxCycles := g.cfg.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = 1 << 62
+	}
+	done := ctx.Done()
+	traced := g.tr != nil
+	var cycle int64
+	var nextCtxCheck int64
+	hitMax := false
+	for ; ; cycle++ {
+		if cycle >= maxCycles {
+			hitMax = true
+			break
+		}
+		if done != nil && cycle >= nextCtxCheck {
+			select {
+			case <-done:
+				return Result{}, fmt.Errorf("gpu: %s cancelled at cycle %d: %w", kernName, cycle, ctx.Err())
+			default:
+			}
+			nextCtxCheck = cycle + ctxCheckInterval
+		}
+		if traced {
+			g.tr.Advance(cycle)
+			for _, lt := range g.parTr {
+				lt.Advance(cycle)
+			}
+		}
+		for _, r := range g.memSys.Tick(cycle) {
+			g.net.Enqueue(r)
+		}
+		allDone := true
+		for i, sm := range g.sms {
+			resp := g.net.Deliver(i, cycle)
+			for _, r := range resp {
+				sm.HandleFill(r, cycle)
+			}
+			if sm.Done() {
+				continue
+			}
+			allDone = false
+			if !g.noSkip && len(resp) == 0 && g.wake[i] > cycle {
+				sm.SkipIdle(cycle, cycle)
+				continue
+			}
+			sm.Tick(cycle)
+			if !g.noSkip {
+				g.wake[i] = sm.NextWakeup(cycle)
+			}
+		}
+		e.drainStep()
+		if g.timelineInterval > 0 && cycle%g.timelineInterval == 0 {
+			g.sampleTimeline(cycle)
+		}
+		if traced && g.tr.SampleDue(cycle) {
+			g.sampleTrace(cycle)
+		}
+		if allDone && g.memSys.Drained() && !g.net.Pending() {
+			break
+		}
+		if !g.noSkip {
+			cycle = g.skipTo(cycle, maxCycles)
+		}
+		from := cycle + 1
+		to := e.epochEnd(cycle, maxCycles)
+		if to-from+1 >= minEpochCycles {
+			final, terminated := e.runEpoch(from, to)
+			cycle = final
+			if terminated {
+				break
+			}
+		}
+	}
+	return g.finish(kernName, cycle, hitMax), nil
+}

@@ -1,0 +1,52 @@
+package gpu
+
+import (
+	"fmt"
+	"testing"
+)
+
+// parallelWorkerCounts are the WithParallelSMs values the differential
+// suite pins: 1 (must take the serial path), 2 and 4 (uneven partitions of
+// the 5-SM shrink), and 8 (more workers than SMs, exercising the clamp).
+var parallelWorkerCounts = []int{1, 2, 4, 8}
+
+// parallelEquivSMs uses 5 SMs so worker counts 2 and 4 produce uneven
+// partitions (the case where a naive merge order would diverge first) while
+// keeping the 15x3x(2+2x4) run matrix affordable under -race.
+const parallelEquivSMs = 5
+
+// TestParallelEquivalence is the acceptance story of the parallel engine:
+// for every workload and configuration, a run sharded across n worker
+// goroutines must be bit-identical to the serial reference — same cycle
+// count, same aggregate and per-SM statistics, same timeline, same per-PC
+// load characterisation, and (in the traced variant) the same event stream
+// and interval series element by element. This is the Accel-Sim-style
+// contract that makes the parallel model trustworthy: it is not an
+// approximation of the serial one, it *is* the serial one, faster.
+func TestParallelEquivalence(t *testing.T) {
+	runMatrix(t, parallelEquivSMs, func(t *testing.T, c matrixCase) {
+		serial := runEquivCell(t, c, false)
+		serialTr := runEquivCell(t, c, true)
+		for _, n := range parallelWorkerCounts {
+			par := runEquivCell(t, c, false, WithParallelSMs(n))
+			requireSameRun(t, fmt.Sprintf("par%d", n), serial, par)
+			parTr := runEquivCell(t, c, true, WithParallelSMs(n))
+			requireSameRun(t, fmt.Sprintf("par%d+trace", n), serialTr, parTr)
+		}
+	})
+}
+
+// TestParallelNoSkipEquivalence crosses the parallel engine with the
+// cycle-by-cycle (no skipping) loop: epochs still form, but workers tick
+// every cycle. This isolates the epoch/barrier protocol from the wakeup
+// cache — a bug in either shows up in exactly one of the two parallel
+// suites.
+func TestParallelNoSkipEquivalence(t *testing.T) {
+	runMatrix(t, parallelEquivSMs, func(t *testing.T, c matrixCase) {
+		serial := runEquivCell(t, c, false)
+		for _, n := range []int{2, 4} {
+			par := runEquivCell(t, c, false, WithParallelSMs(n), WithoutCycleSkipping())
+			requireSameRun(t, fmt.Sprintf("par%d+noskip", n), serial, par)
+		}
+	})
+}

@@ -3,33 +3,7 @@ package gpu
 import (
 	"reflect"
 	"testing"
-
-	"apres/internal/config"
-	"apres/internal/trace"
-	"apres/internal/workloads"
 )
-
-// equivScale keeps the 15x3x2 run matrix fast while still exercising every
-// workload's access patterns and every scheduler/prefetcher interaction.
-const equivScale = 0.05
-
-// equivConfigs are the three run modes the equivalence matrix covers: the
-// plain baseline, the full APRES coupling (LAWS+SAP), and CCWS (the
-// scheduler whose lazy score decay is the most delicate interaction with
-// cycle skipping).
-func equivConfigs() []struct {
-	name string
-	cfg  config.Config
-} {
-	return []struct {
-		name string
-		cfg  config.Config
-	}{
-		{"base", config.Baseline()},
-		{"apres", config.APRES()},
-		{"ccws", config.Baseline().WithScheduler(config.SchedCCWS)},
-	}
-}
 
 // TestSkipEquivalence is the tentpole guarantee of the event-driven run
 // loop: for every workload and configuration, a run with cycle skipping
@@ -39,43 +13,11 @@ func equivConfigs() []struct {
 // inert, which is a correctness bug in a NextWakeup/NextEventCycle/
 // NextDeliveryCycle bound, never an acceptable drift.
 func TestSkipEquivalence(t *testing.T) {
-	for _, w := range workloads.All() {
-		for _, cc := range equivConfigs() {
-			w, cc := w, cc
-			t.Run(w.Name()+"/"+cc.name, func(t *testing.T) {
-				t.Parallel()
-				cfg := cc.cfg
-				cfg.NumSMs = 2
-				kern := w.Kernel.Scaled(equivScale)
-				opts := []Option{WithTimeline(64), WithLoadStats()}
-				skip, err := Simulate(cfg, kern, opts...)
-				if err != nil {
-					t.Fatal(err)
-				}
-				noskip, err := Simulate(cfg, kern, append(opts, WithoutCycleSkipping())...)
-				if err != nil {
-					t.Fatal(err)
-				}
-				if skip.Cycles != noskip.Cycles {
-					t.Fatalf("cycles diverge: skip=%d noskip=%d", skip.Cycles, noskip.Cycles)
-				}
-				if !reflect.DeepEqual(skip.Total, noskip.Total) {
-					t.Fatalf("aggregate stats diverge:\nskip:   %+v\nnoskip: %+v", skip.Total, noskip.Total)
-				}
-				if !reflect.DeepEqual(skip.PerSM, noskip.PerSM) {
-					t.Fatalf("per-SM stats diverge:\nskip:   %+v\nnoskip: %+v", skip.PerSM, noskip.PerSM)
-				}
-				if !reflect.DeepEqual(skip.Timeline, noskip.Timeline) {
-					t.Fatalf("timelines diverge: skip has %d samples, noskip %d\nskip:   %+v\nnoskip: %+v",
-						len(skip.Timeline), len(noskip.Timeline), skip.Timeline, noskip.Timeline)
-				}
-				if !reflect.DeepEqual(skip, noskip) {
-					t.Fatalf("results diverge outside the fields above (LoadStats or flags):\nskip:   %+v\nnoskip: %+v",
-						skip, noskip)
-				}
-			})
-		}
-	}
+	runMatrix(t, 2, func(t *testing.T, c matrixCase) {
+		skip := runEquivCell(t, c, false)
+		noskip := runEquivCell(t, c, false, WithoutCycleSkipping())
+		requireSameRun(t, "noskip", skip, noskip)
+	})
 }
 
 // TestTraceEquivalence enforces the tracing subsystem's correctness
@@ -85,40 +27,19 @@ func TestSkipEquivalence(t *testing.T) {
 // have produced events (an accidentally detached tracer would pass the
 // equality check vacuously).
 func TestTraceEquivalence(t *testing.T) {
-	for _, w := range workloads.All() {
-		for _, cc := range equivConfigs() {
-			w, cc := w, cc
-			t.Run(w.Name()+"/"+cc.name, func(t *testing.T) {
-				t.Parallel()
-				cfg := cc.cfg
-				cfg.NumSMs = 2
-				kern := w.Kernel.Scaled(equivScale)
-				opts := []Option{WithTimeline(64), WithLoadStats()}
-				plain, err := Simulate(cfg, kern, opts...)
-				if err != nil {
-					t.Fatal(err)
-				}
-				sink := &trace.CollectSink{}
-				tr := trace.New(sink, 64)
-				traced, err := Simulate(cfg, kern, append(opts, WithTrace(tr))...)
-				if err != nil {
-					t.Fatal(err)
-				}
-				if err := tr.Close(); err != nil {
-					t.Fatal(err)
-				}
-				if !reflect.DeepEqual(plain, traced) {
-					t.Fatalf("tracing changed the simulated result:\nplain:  %+v\ntraced: %+v", plain, traced)
-				}
-				if len(sink.Events) == 0 {
-					t.Fatal("traced run emitted no events")
-				}
-				if len(sink.Samples) == 0 {
-					t.Fatal("traced run recorded no interval samples")
-				}
-			})
+	runMatrix(t, 2, func(t *testing.T, c matrixCase) {
+		plain := runEquivCell(t, c, false)
+		traced := runEquivCell(t, c, true)
+		if !reflect.DeepEqual(plain.Res, traced.Res) {
+			t.Fatalf("tracing changed the simulated result:\nplain:  %+v\ntraced: %+v", plain.Res, traced.Res)
 		}
-	}
+		if len(traced.Events) == 0 {
+			t.Fatal("traced run emitted no events")
+		}
+		if len(traced.Samples) == 0 {
+			t.Fatal("traced run recorded no interval samples")
+		}
+	})
 }
 
 // TestTraceSkipInvariance pins down the subtler half of the tracing
@@ -130,43 +51,9 @@ func TestTraceEquivalence(t *testing.T) {
 // live warps are memory-blocked) would emit extra events only in the
 // noskip run.
 func TestTraceSkipInvariance(t *testing.T) {
-	for _, w := range workloads.All() {
-		for _, cc := range equivConfigs() {
-			w, cc := w, cc
-			t.Run(w.Name()+"/"+cc.name, func(t *testing.T) {
-				t.Parallel()
-				cfg := cc.cfg
-				cfg.NumSMs = 2
-				kern := w.Kernel.Scaled(equivScale)
-				run := func(opts ...Option) *trace.CollectSink {
-					sink := &trace.CollectSink{}
-					tr := trace.New(sink, 64)
-					if _, err := Simulate(cfg, kern, append(opts, WithTrace(tr))...); err != nil {
-						t.Fatal(err)
-					}
-					if err := tr.Close(); err != nil {
-						t.Fatal(err)
-					}
-					return sink
-				}
-				skip := run()
-				noskip := run(WithoutCycleSkipping())
-				if len(skip.Events) != len(noskip.Events) {
-					t.Fatalf("event counts diverge: skip=%d noskip=%d (by category: skip=%v noskip=%v)",
-						len(skip.Events), len(noskip.Events),
-						skip.CountByCategory(), noskip.CountByCategory())
-				}
-				for i := range skip.Events {
-					if skip.Events[i] != noskip.Events[i] {
-						t.Fatalf("event %d diverges:\nskip:   %+v\nnoskip: %+v",
-							i, skip.Events[i], noskip.Events[i])
-					}
-				}
-				if !reflect.DeepEqual(skip.Samples, noskip.Samples) {
-					t.Fatalf("interval series diverge: skip has %d samples, noskip %d\nskip:   %+v\nnoskip: %+v",
-						len(skip.Samples), len(noskip.Samples), skip.Samples, noskip.Samples)
-				}
-			})
-		}
-	}
+	runMatrix(t, 2, func(t *testing.T, c matrixCase) {
+		skip := runEquivCell(t, c, true)
+		noskip := runEquivCell(t, c, true, WithoutCycleSkipping())
+		requireSameRun(t, "noskip+trace", skip, noskip)
+	})
 }

@@ -7,11 +7,17 @@ package harness
 // instead of drifting silently.
 
 import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"apres/internal/trace"
 )
 
 var updateGolden = flag.Bool("update-golden", false,
@@ -37,10 +43,11 @@ type goldenEntry struct {
 	L1HitRate    float64
 }
 
-func currentGolden(t *testing.T) []goldenEntry {
+func currentGolden(t *testing.T, smJobs int) []goldenEntry {
 	t.Helper()
 	r := NewRunner(goldenScale, goldenSMs)
 	r.Jobs = 8 // regression values must not depend on the pool width
+	r.SMJobs = smJobs
 	var out []goldenEntry
 	for _, app := range goldenApps {
 		for _, cfg := range goldenConfigs {
@@ -61,7 +68,7 @@ func currentGolden(t *testing.T) []goldenEntry {
 }
 
 func TestGoldenRegression(t *testing.T) {
-	got := currentGolden(t)
+	got := currentGolden(t, 0)
 
 	if *updateGolden {
 		if err := os.MkdirAll(filepath.Dir(goldenFile), 0o755); err != nil {
@@ -101,5 +108,71 @@ func TestGoldenRegression(t *testing.T) {
 				g.Cycles, g.Instructions, g.L1HitRate,
 				w.Cycles, w.Instructions, w.L1HitRate)
 		}
+	}
+}
+
+// TestGoldenRegressionParallel re-runs the whole golden matrix with the
+// parallel engine (8 workers) against the same committed pins: the
+// regression values must be engine-independent, so there is exactly one
+// golden file, never a per-engine one.
+func TestGoldenRegressionParallel(t *testing.T) {
+	data, err := os.ReadFile(goldenFile)
+	if err != nil {
+		t.Fatalf("missing golden file: %v", err)
+	}
+	var want []goldenEntry
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("corrupt golden file %s: %v", goldenFile, err)
+	}
+	got := currentGolden(t, 8)
+	if len(want) != len(got) {
+		t.Fatalf("golden file has %d entries, test matrix has %d", len(want), len(got))
+	}
+	for i, w := range want {
+		if got[i] != w {
+			t.Errorf("parallel engine diverges from golden pins for %s/%s:\n  got  %+v\n  want %+v\n"+
+				"The serial engine still matches (TestGoldenRegression), so this is a parallel-engine bug, not model drift.",
+				w.App, w.Config, got[i], w)
+		}
+	}
+}
+
+// TestRepeatedParallelRunDeterminism is the repeated-run guard: ten
+// uncached executions of the same workload under 8-way SM parallelism must
+// hash to one SHA-256 over the exported statistics and the full trace
+// artifact. Goroutine scheduling noise showing up anywhere in the output
+// would split the hashes.
+func TestRepeatedParallelRunDeterminism(t *testing.T) {
+	cfg, err := NamedConfig("apres")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashes := make(map[string][]int)
+	for i := 0; i < 10; i++ {
+		// A fresh Runner per iteration: RunTraced already bypasses every
+		// cache, but nothing here may be answered warm even by accident.
+		r := NewRunner(goldenScale, goldenSMs)
+		r.Jobs = 8
+		var buf bytes.Buffer
+		tr := trace.New(trace.NewJSONSink(&buf), 500)
+		res, err := r.RunTracedOpts(context.Background(), "SP", cfg, true, tr, RunOpts{SMJobs: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		stats, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := sha256.New()
+		h.Write(stats)
+		h.Write(buf.Bytes())
+		sum := hex.EncodeToString(h.Sum(nil))
+		hashes[sum] = append(hashes[sum], i)
+	}
+	if len(hashes) != 1 {
+		t.Fatalf("10 identical parallel runs produced %d distinct SHA-256(stats+trace) hashes: %v", len(hashes), hashes)
 	}
 }

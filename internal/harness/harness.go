@@ -95,6 +95,12 @@ type Runner struct {
 	// Jobs bounds how many simulations execute concurrently (the worker
 	// pool size); 0 means GOMAXPROCS. Set it before the first run.
 	Jobs int
+	// SMJobs shards each simulation's per-SM loop across this many worker
+	// goroutines (gpu.WithParallelSMs); 0 or 1 runs the serial engine.
+	// The parallel engine is bit-identical to the serial one, so SMJobs is
+	// deliberately absent from the memo and store keys — it is an execution
+	// detail, not part of the run's identity.
+	SMJobs int
 	// Store, when non-nil, persists results on disk keyed by a content
 	// hash of the exact run (workload, scale, full config, version stamp),
 	// so warm results survive process restarts and are shared between the
@@ -123,6 +129,14 @@ func NewRunner(scale float64, sms int) *Runner {
 	}
 }
 
+// RunOpts carries per-call execution overrides. Everything in it changes
+// only how a simulation executes, never what it computes, so none of it
+// participates in memo, singleflight, or store keys.
+type RunOpts struct {
+	// SMJobs overrides Runner.SMJobs for this call when nonzero.
+	SMJobs int
+}
+
 // Run simulates workload app under the named configuration, memoising the
 // result.
 func (r *Runner) Run(app, cfgName string) (gpu.Result, error) {
@@ -132,25 +146,32 @@ func (r *Runner) Run(app, cfgName string) (gpu.Result, error) {
 // RunContext is Run with cooperative cancellation: ctx bounds both the
 // wait for a worker-pool slot and the simulation itself.
 func (r *Runner) RunContext(ctx context.Context, app, cfgName string) (gpu.Result, error) {
-	return r.run(ctx, app, cfgName, false)
+	return r.run(ctx, app, cfgName, false, RunOpts{})
 }
 
 // RunWithLoadStats is Run with per-PC characterisation enabled.
 func (r *Runner) RunWithLoadStats(app, cfgName string) (gpu.Result, error) {
-	return r.run(context.Background(), app, cfgName, true)
+	return r.run(context.Background(), app, cfgName, true, RunOpts{})
 }
 
 // RunWithLoadStatsContext is RunWithLoadStats with cancellation.
 func (r *Runner) RunWithLoadStatsContext(ctx context.Context, app, cfgName string) (gpu.Result, error) {
-	return r.run(ctx, app, cfgName, true)
+	return r.run(ctx, app, cfgName, true, RunOpts{})
 }
 
-func (r *Runner) run(ctx context.Context, app, cfgName string, loadStats bool) (gpu.Result, error) {
+// RunNamed is the fully general named-config entry point: cancellation,
+// load-stats opt-in, and per-call execution overrides. The daemon uses it
+// to honour per-request "sm_jobs".
+func (r *Runner) RunNamed(ctx context.Context, app, cfgName string, loadStats bool, o RunOpts) (gpu.Result, error) {
+	return r.run(ctx, app, cfgName, loadStats, o)
+}
+
+func (r *Runner) run(ctx context.Context, app, cfgName string, loadStats bool, o RunOpts) (gpu.Result, error) {
 	cfg, err := NamedConfig(cfgName)
 	if err != nil {
 		return gpu.Result{}, err
 	}
-	return r.runResolved(ctx, app, "name:"+cfgName, cfgName, cfg, loadStats)
+	return r.runResolved(ctx, app, "name:"+cfgName, cfgName, cfg, loadStats, o)
 }
 
 // RunConfig simulates workload app under an explicit (not named)
@@ -158,11 +179,16 @@ func (r *Runner) run(ctx context.Context, app, cfgName string, loadStats bool) (
 // deduplication, worker pool, and persistent store. The daemon uses it to
 // serve inline-config requests.
 func (r *Runner) RunConfig(ctx context.Context, app string, cfg config.Config, loadStats bool) (gpu.Result, error) {
+	return r.RunConfigOpts(ctx, app, cfg, loadStats, RunOpts{})
+}
+
+// RunConfigOpts is RunConfig with per-call execution overrides.
+func (r *Runner) RunConfigOpts(ctx context.Context, app string, cfg config.Config, loadStats bool, o RunOpts) (gpu.Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return gpu.Result{}, err
 	}
 	digest := resultstore.ConfigDigest(cfg)
-	return r.runResolved(ctx, app, "cfg:"+digest, "cfg:"+digest, cfg, loadStats)
+	return r.runResolved(ctx, app, "cfg:"+digest, "cfg:"+digest, cfg, loadStats, o)
 }
 
 // RunTraced simulates workload app under an explicit configuration with
@@ -172,6 +198,13 @@ func (r *Runner) RunConfig(ctx context.Context, app string, cfg config.Config, l
 // through the worker pool, so traced requests cannot oversubscribe the
 // machine. The caller owns tr and must Close it after the run.
 func (r *Runner) RunTraced(ctx context.Context, app string, cfg config.Config, loadStats bool, tr *trace.Tracer) (gpu.Result, error) {
+	return r.RunTracedOpts(ctx, app, cfg, loadStats, tr, RunOpts{})
+}
+
+// RunTracedOpts is RunTraced with per-call execution overrides (the traced
+// parallel engine produces the same event stream as the serial one, so a
+// traced request may carry sm_jobs too).
+func (r *Runner) RunTracedOpts(ctx context.Context, app string, cfg config.Config, loadStats bool, tr *trace.Tracer, o RunOpts) (gpu.Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return gpu.Result{}, err
 	}
@@ -196,7 +229,7 @@ func (r *Runner) RunTraced(ctx context.Context, app string, cfg config.Config, l
 	if loadStats {
 		opts = append(opts, gpu.WithLoadStats())
 	}
-	res, err := r.simulate(ctx, cfg, kern, opts...)
+	res, err := r.simulate(ctx, cfg, kern, o.SMJobs, opts...)
 	if err != nil {
 		return gpu.Result{}, fmt.Errorf("harness: %s (traced): %w", app, err)
 	}
@@ -205,8 +238,11 @@ func (r *Runner) RunTraced(ctx context.Context, app string, cfg config.Config, l
 
 // runResolved is the shared memoise + singleflight + simulate path. tag
 // uniquely identifies cfg within this Runner (a name or a content digest);
-// label names the config in error messages.
-func (r *Runner) runResolved(ctx context.Context, app, tag, label string, cfg config.Config, loadStats bool) (gpu.Result, error) {
+// label names the config in error messages. o never enters the key: when a
+// serial and a parallel request for the same run race, one simulates (with
+// its own engine choice) and the other joins it — legitimate only because
+// both engines produce bit-identical results.
+func (r *Runner) runResolved(ctx context.Context, app, tag, label string, cfg config.Config, loadStats bool, o RunOpts) (gpu.Result, error) {
 	k := runKey{app: app, cfg: tag, loadStats: loadStats}
 	r.mu.Lock()
 	if res, ok := r.cache[k]; ok {
@@ -233,7 +269,7 @@ func (r *Runner) runResolved(ctx context.Context, app, tag, label string, cfg co
 	r.inflight[k] = fl
 	r.mu.Unlock()
 
-	fl.res, fl.err = r.runOnce(ctx, app, label, cfg, loadStats)
+	fl.res, fl.err = r.runOnce(ctx, app, label, cfg, loadStats, o)
 
 	r.mu.Lock()
 	if fl.err == nil {
@@ -250,7 +286,7 @@ func (r *Runner) runResolved(ctx context.Context, app, tag, label string, cfg co
 
 // runOnce performs the actual simulation of one (workload, config) pair,
 // consulting the persistent store first when one is attached.
-func (r *Runner) runOnce(ctx context.Context, app, label string, cfg config.Config, loadStats bool) (gpu.Result, error) {
+func (r *Runner) runOnce(ctx context.Context, app, label string, cfg config.Config, loadStats bool, o RunOpts) (gpu.Result, error) {
 	w, ok := workloads.ByName(app)
 	if !ok {
 		return gpu.Result{}, fmt.Errorf("harness: unknown workload %q", app)
@@ -287,7 +323,7 @@ func (r *Runner) runOnce(ctx context.Context, app, label string, cfg config.Conf
 	if loadStats {
 		opts = append(opts, gpu.WithLoadStats())
 	}
-	res, err := r.simulate(ctx, cfg, kern, opts...)
+	res, err := r.simulate(ctx, cfg, kern, o.SMJobs, opts...)
 	if err != nil {
 		return gpu.Result{}, fmt.Errorf("harness: %s/%s: %w", app, label, err)
 	}

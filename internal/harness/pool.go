@@ -102,8 +102,10 @@ func (r *Runner) PoolGauges() (capacity, busy, waiting int) {
 // simulate executes one simulation under the pool's concurrency bound.
 // Every simulation the Runner performs — cached runs and sweep points
 // alike — funnels through here, so nested fan-outs (figure over series
-// over apps) never oversubscribe the machine.
-func (r *Runner) simulate(ctx context.Context, cfg config.Config, kern kernel.Kernel, opts ...gpu.Option) (gpu.Result, error) {
+// over apps) never oversubscribe the machine. smJobs overrides the
+// Runner-wide SMJobs when nonzero; whichever wins, it only selects the
+// engine, never the result.
+func (r *Runner) simulate(ctx context.Context, cfg config.Config, kern kernel.Kernel, smJobs int, opts ...gpu.Option) (gpu.Result, error) {
 	release, err := r.acquireSlot(ctx)
 	if err != nil {
 		return gpu.Result{}, err
@@ -112,6 +114,12 @@ func (r *Runner) simulate(ctx context.Context, cfg config.Config, kern kernel.Ke
 	r.mu.Lock()
 	r.stats.Simulations++
 	r.mu.Unlock()
+	if smJobs == 0 {
+		smJobs = r.SMJobs
+	}
+	if smJobs > 1 {
+		opts = append(opts, gpu.WithParallelSMs(smJobs))
+	}
 	return gpu.SimulateContext(ctx, cfg, kern, opts...)
 }
 

@@ -72,7 +72,7 @@ func (r *Runner) sweep(title, app, cfgName string, points []int, label func(int)
 		if err := cfg.Validate(); err != nil {
 			return gpu.Result{}, fmt.Errorf("harness: sweep point %d: %w", v, err)
 		}
-		return r.simulate(context.Background(), cfg, kern)
+		return r.simulate(context.Background(), cfg, kern, 0)
 	})
 	if err != nil {
 		return nil, err

@@ -35,15 +35,28 @@ type Network struct {
 	// banks credit for all elapsed cycles since, so the event-driven loop
 	// may skip idle cycles without changing delivery timing.
 	creditCycle []int64
-	// pending counts undelivered responses across all queues, so
-	// Pending() is O(1) instead of an O(numSMs) scan per cycle.
-	pending int
-	st      *stats.Stats
-	tr      *trace.Tracer
+	// bytesToSM accumulates delivered traffic per SM. Deliver must be
+	// callable concurrently for distinct SMs (the parallel engine's workers
+	// deliver inside epochs), so the shared stats counter cannot be bumped
+	// there; FlushStats folds the per-SM totals into st once, at the end of
+	// the run. Nothing samples BytesToSM mid-run, so deferring it is
+	// observationally identical for the serial engine too.
+	bytesToSM []int64
+	st        *stats.Stats
+	tr        *trace.Tracer
+	smTr      []*trace.Tracer
 }
 
 // SetTracer attaches the trace sink; nil disables tracing (the default).
 func (n *Network) SetTracer(tr *trace.Tracer) { n.tr = tr }
+
+// SetSMTracers overrides the tracer used for delivery events: when set,
+// Deliver emits KindNoCDeliver for SM i into smTr[i] instead of the shared
+// tracer. The parallel engine uses this to keep delivery events inside each
+// SM's local stream so its barrier merge reproduces the serial event order;
+// injection events stay on the shared tracer, where they already occur at
+// their serial position.
+func (n *Network) SetSMTracers(smTr []*trace.Tracer) { n.smTr = smTr }
 
 // New builds a network for numSMs SMs with the given per-SM response
 // bandwidth in bytes per cycle.
@@ -53,6 +66,7 @@ func New(numSMs, bytesPerCycle int, st *stats.Stats) *Network {
 		queues:        make([]smQueue, numSMs),
 		credit:        make([]int, numSMs),
 		creditCycle:   make([]int64, numSMs),
+		bytesToSM:     make([]int64, numSMs),
 		st:            st,
 	}
 	for i := range n.creditCycle {
@@ -72,7 +86,6 @@ func (n *Network) Enqueue(r dram.Response) {
 		q.head = 0
 	}
 	q.buf = append(q.buf, r)
-	n.pending++
 	if n.tr != nil {
 		n.tr.Emit(trace.Event{Kind: trace.KindNoCInject, Unit: int32(r.Req.SM),
 			Warp: int32(r.Req.Warp), PC: uint32(r.Req.PC), Line: uint64(r.Req.Line),
@@ -107,6 +120,12 @@ func (n *Network) bankCredit(sm int, cycle int64) {
 // Deliver returns the responses that reach SM sm at the given cycle, limited
 // by the SM's accumulated bandwidth credit. The returned slice is only valid
 // until the next Enqueue or Deliver call for the same SM.
+//
+// Concurrency contract: Deliver (and NextDeliveryCycleSM) touch only state
+// indexed by sm — the queue, credit, creditCycle, bytesToSM, and the per-SM
+// tracer — so calls for distinct SMs may run on distinct goroutines, as the
+// parallel engine's workers do inside an epoch. Enqueue and the remaining
+// methods stay single-threaded (serial steps and epoch barriers).
 func (n *Network) Deliver(sm int, cycle int64) []dram.Response {
 	n.bankCredit(sm, cycle)
 	q := &n.queues[sm]
@@ -116,14 +135,19 @@ func (n *Network) Deliver(sm int, cycle int64) []dram.Response {
 		pend[delivered].ReadyCycle <= cycle &&
 		n.credit[sm] >= arch.LineSizeBytes {
 		n.credit[sm] -= arch.LineSizeBytes
-		n.st.BytesToSM += arch.LineSizeBytes
+		n.bytesToSM[sm] += arch.LineSizeBytes
 		delivered++
 	}
 	q.head += delivered
-	n.pending -= delivered
-	if n.tr != nil && delivered > 0 {
-		n.tr.Emit(trace.Event{Kind: trace.KindNoCDeliver, Unit: int32(sm),
-			Arg: int64(delivered)})
+	if delivered > 0 {
+		tr := n.tr
+		if n.smTr != nil {
+			tr = n.smTr[sm]
+		}
+		if tr != nil {
+			tr.Emit(trace.Event{Kind: trace.KindNoCDeliver, Unit: int32(sm),
+				Arg: int64(delivered)})
+		}
 	}
 	if q.head == len(q.buf) {
 		q.buf = q.buf[:0]
@@ -132,8 +156,29 @@ func (n *Network) Deliver(sm int, cycle int64) []dram.Response {
 	return pend[:delivered]
 }
 
-// Pending reports whether any responses remain undelivered.
-func (n *Network) Pending() bool { return n.pending > 0 }
+// Pending reports whether any responses remain undelivered. It scans the
+// queues (O(numSMs), with numSMs = 15 at the paper's configuration): a
+// shared counter would be O(1) but would race when workers deliver for
+// distinct SMs concurrently.
+func (n *Network) Pending() bool {
+	for i := range n.queues {
+		q := &n.queues[i]
+		if q.head != len(q.buf) {
+			return true
+		}
+	}
+	return false
+}
+
+// FlushStats folds the per-SM delivered-byte accumulators into the shared
+// stats block. Call once, after the last Deliver (the GPU does it when
+// assembling the final Result).
+func (n *Network) FlushStats() {
+	for i, b := range n.bytesToSM {
+		n.st.BytesToSM += b
+		n.bytesToSM[i] = 0
+	}
+}
 
 // NextDeliveryCycle returns the earliest cycle after cycle at which any
 // queued response could reach its SM, accounting for both the head
@@ -144,16 +189,9 @@ func (n *Network) Pending() bool { return n.pending > 0 }
 func (n *Network) NextDeliveryCycle(cycle int64) int64 {
 	next := int64(-1)
 	for sm := range n.queues {
-		q := &n.queues[sm]
-		if q.head == len(q.buf) {
+		t := n.NextDeliveryCycleSM(sm, cycle)
+		if t < 0 {
 			continue
-		}
-		t := q.buf[q.head].ReadyCycle
-		if deficit := arch.LineSizeBytes - n.credit[sm]; deficit > 0 {
-			per := n.bytesPerCycle
-			if tc := n.creditCycle[sm] + int64((deficit+per-1)/per); tc > t {
-				t = tc
-			}
 		}
 		if t <= cycle+1 {
 			return cycle + 1
@@ -163,4 +201,28 @@ func (n *Network) NextDeliveryCycle(cycle int64) int64 {
 		}
 	}
 	return next
+}
+
+// NextDeliveryCycleSM is NextDeliveryCycle for a single SM's queue: the
+// earliest cycle at which its head response could be delivered (clamped to
+// cycle+1, conservative-early, never late), or -1 when the queue is empty.
+// Per-SM state only — safe from that SM's worker goroutine; the parallel
+// engine uses it to cap a worker's bulk idle-skip so no in-epoch delivery
+// cycle is jumped over.
+func (n *Network) NextDeliveryCycleSM(sm int, cycle int64) int64 {
+	q := &n.queues[sm]
+	if q.head == len(q.buf) {
+		return -1
+	}
+	t := q.buf[q.head].ReadyCycle
+	if deficit := arch.LineSizeBytes - n.credit[sm]; deficit > 0 {
+		per := n.bytesPerCycle
+		if tc := n.creditCycle[sm] + int64((deficit+per-1)/per); tc > t {
+			t = tc
+		}
+	}
+	if t <= cycle+1 {
+		return cycle + 1
+	}
+	return t
 }

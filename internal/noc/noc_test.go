@@ -86,8 +86,20 @@ func TestTrafficCounting(t *testing.T) {
 	n.Enqueue(resp(0, 0))
 	n.Enqueue(resp(0, 0))
 	n.Deliver(0, 1)
+	// Delivered traffic accumulates per SM (so workers can deliver
+	// concurrently) and only reaches the shared stats block at FlushStats.
+	if st.BytesToSM != 0 {
+		t.Fatalf("BytesToSM = %d before FlushStats, want 0", st.BytesToSM)
+	}
+	n.FlushStats()
 	if st.BytesToSM != 2*arch.LineSizeBytes {
 		t.Fatalf("BytesToSM = %d, want %d", st.BytesToSM, 2*arch.LineSizeBytes)
+	}
+	// FlushStats drains the accumulators: flushing again must not double
+	// count.
+	n.FlushStats()
+	if st.BytesToSM != 2*arch.LineSizeBytes {
+		t.Fatalf("BytesToSM = %d after second flush, want %d", st.BytesToSM, 2*arch.LineSizeBytes)
 	}
 }
 

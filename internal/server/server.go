@@ -180,6 +180,11 @@ type SimulateRequest struct {
 	// TraceIntervalCycles is the interval-sampler window for a traced run;
 	// 0 uses the server default.
 	TraceIntervalCycles int64 `json:"traceIntervalCycles,omitempty"`
+	// SMJobs shards this run's per-SM loop across that many worker
+	// goroutines (0 or 1 = the daemon's default engine). The parallel
+	// engine is bit-identical to the serial one, so sm_jobs changes only
+	// wall time — store keys and results are the same either way.
+	SMJobs int `json:"sm_jobs,omitempty"`
 }
 
 // SimulateResponse is the POST /v1/simulate reply.
@@ -214,6 +219,9 @@ func resolveConfig(req *SimulateRequest) (cfg config.Config, label string, named
 	}
 	if req.Config != "" && req.ConfigInline != nil {
 		return cfg, "", false, errors.New("config and configInline are mutually exclusive")
+	}
+	if req.SMJobs < 0 {
+		return cfg, "", false, fmt.Errorf("sm_jobs must be >= 0, got %d", req.SMJobs)
 	}
 	if req.ConfigInline != nil {
 		cfg = *req.ConfigInline
@@ -277,14 +285,11 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	s.metrics.simStart()
 	t0 := time.Now()
 	var res gpu.Result
+	o := harness.RunOpts{SMJobs: req.SMJobs}
 	if named {
-		if req.LoadStats {
-			res, err = s.runner.RunWithLoadStatsContext(ctx, req.Workload, label)
-		} else {
-			res, err = s.runner.RunContext(ctx, req.Workload, label)
-		}
+		res, err = s.runner.RunNamed(ctx, req.Workload, label, req.LoadStats, o)
 	} else {
-		res, err = s.runner.RunConfig(ctx, req.Workload, cfg, req.LoadStats)
+		res, err = s.runner.RunConfigOpts(ctx, req.Workload, cfg, req.LoadStats, o)
 	}
 	wall := time.Since(t0)
 	s.metrics.simEnd(label, wall.Seconds())
@@ -353,7 +358,7 @@ func (s *Server) handleTracedSimulate(w http.ResponseWriter, r *http.Request, re
 	defer cancel()
 	s.metrics.simStart()
 	t0 := time.Now()
-	res, err := s.runner.RunTraced(ctx, req.Workload, cfg, req.LoadStats, tr)
+	res, err := s.runner.RunTracedOpts(ctx, req.Workload, cfg, req.LoadStats, tr, harness.RunOpts{SMJobs: req.SMJobs})
 	wall := time.Since(t0)
 	s.metrics.simEnd(label, wall.Seconds())
 	cerr := tr.Close()
@@ -415,6 +420,9 @@ type SweepRequest struct {
 	Workloads []string `json:"workloads"`
 	Configs   []string `json:"configs"`
 	LoadStats bool     `json:"loadStats,omitempty"`
+	// SMJobs applies per-SM parallelism to every cell of the sweep (see
+	// SimulateRequest.SMJobs).
+	SMJobs int `json:"sm_jobs,omitempty"`
 }
 
 // SweepCell is one (workload, config) summary. Full statistics for any
@@ -445,6 +453,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(req.Workloads) == 0 || len(req.Configs) == 0 {
 		writeError(w, http.StatusBadRequest, "workloads and configs must both be non-empty")
+		return
+	}
+	if req.SMJobs < 0 {
+		writeError(w, http.StatusBadRequest, "sm_jobs must be >= 0, got %d", req.SMJobs)
 		return
 	}
 	// Validate the whole matrix up front so a typo fails fast with 400
@@ -487,13 +499,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			}
 			s.metrics.simStart()
 			t0 := time.Now()
-			var res gpu.Result
-			var err error
-			if req.LoadStats {
-				res, err = s.runner.RunWithLoadStatsContext(ctx, in.app, in.cfgName)
-			} else {
-				res, err = s.runner.RunContext(ctx, in.app, in.cfgName)
-			}
+			res, err := s.runner.RunNamed(ctx, in.app, in.cfgName, req.LoadStats, harness.RunOpts{SMJobs: req.SMJobs})
 			wall := time.Since(t0)
 			s.metrics.simEnd(in.cfgName, wall.Seconds())
 			cell.WallMS = wall.Milliseconds()

@@ -278,6 +278,23 @@ func (t *Tracer) Emit(e Event) {
 	}
 }
 
+// EmitStamped records one event keeping its pre-set Cycle stamp instead of
+// the tracer clock. The parallel engine's barrier uses it to merge per-SM
+// event streams (already stamped by each SM's local tracer) into the shared
+// stream in canonical order.
+func (t *Tracer) EmitStamped(e Event) {
+	t.block[t.n] = e
+	t.n++
+	if t.n == len(t.block) {
+		t.flush()
+	}
+}
+
+// Flush hands any buffered events to the sink without closing it. The
+// parallel engine flushes each SM's local tracer at every barrier so the
+// merge sees the complete epoch.
+func (t *Tracer) Flush() { t.flush() }
+
 func (t *Tracer) flush() {
 	if t.n == 0 {
 		return
