@@ -9,13 +9,21 @@
 //	apressim -workload BFS -store ~/.cache/apres/resultstore
 //	apressim -workload BFS -server http://localhost:7845
 //	apressim -workload SP -apres -trace sp.json   # Perfetto trace + interval CSV
+//	apressim -spec examples/specs/KM.json -apres  # declarative workload spec
+//	apressim -replay examples/traces/tiled_gather.csv   # trace replay
 //
 // With a comma-separated workload list the runs execute concurrently
 // (bounded by -jobs) and print in the order given, so output stays
 // deterministic. With -store, results persist in a content-addressed
 // on-disk cache shared with apresd, so repeated invocations are served
 // warm. With -server, simulations are delegated to a running apresd
-// daemon instead of executing locally.
+// daemon instead of executing locally (including -spec/-replay runs,
+// which POST the spec inline).
+//
+// -spec runs a declarative workload from a workspec JSON file and -replay
+// replays a recorded memory-access trace (.csv or .jsonl); both reject a
+// malformed file with exit code 1 and a line/field-precise error before
+// any simulation starts.
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -43,11 +52,14 @@ import (
 	"apres/internal/trace"
 	"apres/internal/version"
 	"apres/internal/workloads"
+	"apres/internal/workspec"
 )
 
 func main() {
 	var (
 		workload  = flag.String("workload", "BFS", "benchmark abbreviation, or a comma-separated list (see -list)")
+		specPath  = flag.String("spec", "", "run a declarative workload spec JSON file instead of a named workload")
+		replay    = flag.String("replay", "", "replay a recorded memory trace (.csv or .jsonl) instead of a named workload")
 		scheduler = flag.String("scheduler", "lrr", "warp scheduler: lrr|gto|twolevel|ccws|mascar|pa|laws")
 		pref      = flag.String("prefetcher", "none", "prefetcher: none|str|sld|sap")
 		apres     = flag.Bool("apres", false, "enable the APRES LAWS<->SAP coupling (implies -scheduler laws -prefetcher sap)")
@@ -87,24 +99,44 @@ func main() {
 		return
 	}
 
-	var names []string
-	for _, n := range strings.Split(*workload, ",") {
-		if n = strings.TrimSpace(n); n != "" {
-			names = append(names, n)
-		}
-	}
-	if len(names) == 0 {
-		fmt.Fprintln(os.Stderr, "no workload given (try -list)")
+	// -spec/-replay select a declarative workload; they are mutually
+	// exclusive with each other and with an explicit -workload. Parse and
+	// validation errors exit 1 before any simulation starts.
+	spec, err := loadSpec(*specPath, *replay)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	wls := make([]workloads.Workload, len(names))
-	for i, n := range names {
-		w, ok := workloads.ByName(n)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown workload %q (try -list)\n", n)
+
+	var names []string
+	var wls []workloads.Workload
+	if spec != nil {
+		w, err := spec.Compile()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		wls[i] = w
+		names = []string{spec.Label()}
+		wls = []workloads.Workload{w}
+	} else {
+		for _, n := range strings.Split(*workload, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+		if len(names) == 0 {
+			fmt.Fprintln(os.Stderr, "no workload given (try -list)")
+			os.Exit(1)
+		}
+		wls = make([]workloads.Workload, len(names))
+		for i, n := range names {
+			w, ok := workloads.ByName(n)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown workload %q (try -list)\n", n)
+				os.Exit(1)
+			}
+			wls[i] = w
+		}
 	}
 
 	var cfg config.Config
@@ -178,16 +210,24 @@ func main() {
 			defer wg.Done()
 			t0 := time.Now()
 			if *serverURL != "" {
-				res, cached, err := remoteSimulate(*serverURL, w.Name(), cfg, *loadstats, *smJobs)
+				res, cached, err := remoteSimulate(*serverURL, w.Name(), spec, cfg, *loadstats, *smJobs)
 				outs[i] = outcome{res: res, elapsed: time.Since(t0), cached: cached, err: err}
 				return
 			}
-			if tracer != nil {
-				res, err := runner.RunTraced(context.Background(), w.Name(), cfg, *loadstats, tracer)
-				outs[i] = outcome{res: res, elapsed: time.Since(t0), err: err}
-				return
+			ctx := context.Background()
+			o := harness.RunOpts{SMJobs: *smJobs}
+			var res gpu.Result
+			var err error
+			switch {
+			case tracer != nil && spec != nil:
+				res, err = runner.RunSpecTraced(ctx, spec, cfg, *loadstats, tracer, o)
+			case tracer != nil:
+				res, err = runner.RunTraced(ctx, w.Name(), cfg, *loadstats, tracer)
+			case spec != nil:
+				res, err = runner.RunSpecConfig(ctx, spec, cfg, *loadstats, o)
+			default:
+				res, err = runner.RunConfig(ctx, w.Name(), cfg, *loadstats)
 			}
-			res, err := runner.RunConfig(context.Background(), w.Name(), cfg, *loadstats)
 			outs[i] = outcome{res: res, elapsed: time.Since(t0), err: err}
 		}(i, w)
 	}
@@ -268,15 +308,74 @@ func main() {
 	}
 }
 
+// loadSpec resolves the -spec/-replay flags into a validated spec (nil when
+// neither flag is set). A -workload explicitly given alongside them is an
+// error: the spec IS the workload.
+func loadSpec(specPath, replayPath string) (*workspec.Spec, error) {
+	if specPath == "" && replayPath == "" {
+		return nil, nil
+	}
+	if specPath != "" && replayPath != "" {
+		return nil, fmt.Errorf("-spec and -replay are mutually exclusive")
+	}
+	workloadSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "workload" {
+			workloadSet = true
+		}
+	})
+	if workloadSet {
+		return nil, fmt.Errorf("-workload cannot be combined with -spec/-replay")
+	}
+	if specPath != "" {
+		return workspec.ParseFile(specPath)
+	}
+	recs, err := workspec.ParseTraceFile(replayPath)
+	if err != nil {
+		return nil, err
+	}
+	s := workspec.SpecFromTrace(traceSpecName(replayPath), recs)
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", replayPath, err)
+	}
+	return s, nil
+}
+
+// traceSpecName derives a valid spec name from a trace file path.
+func traceSpecName(path string) string {
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	name = strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		default:
+			return '-'
+		}
+	}, name)
+	if name == "" || !(name[0] >= 'a' && name[0] <= 'z' || name[0] >= 'A' && name[0] <= 'Z' || name[0] >= '0' && name[0] <= '9') {
+		name = "trace-" + name
+	}
+	if len(name) > 64 {
+		name = name[:64]
+	}
+	return name
+}
+
 // remoteSimulate delegates one run to an apresd daemon via POST
-// /v1/simulate with the full configuration inline.
-func remoteSimulate(base, app string, cfg config.Config, loadStats bool, smJobs int) (gpu.Result, bool, error) {
-	body, err := json.Marshal(server.SimulateRequest{
-		Workload:     app,
+// /v1/simulate with the full configuration (and any spec) inline.
+func remoteSimulate(base, app string, spec *workspec.Spec, cfg config.Config, loadStats bool, smJobs int) (gpu.Result, bool, error) {
+	req := server.SimulateRequest{
 		ConfigInline: &cfg,
 		LoadStats:    loadStats,
 		SMJobs:       smJobs,
-	})
+	}
+	if spec != nil {
+		req.Spec = spec
+	} else {
+		req.Workload = app
+	}
+	body, err := json.Marshal(req)
 	if err != nil {
 		return gpu.Result{}, false, err
 	}

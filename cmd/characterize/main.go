@@ -8,12 +8,21 @@
 //	characterize                 # all memory-intensive apps (paper scope)
 //	characterize -apps KM,SRAD   # a subset
 //	characterize -all            # all 15 apps
+//	characterize -apps SP -spec-out specs/   # emit measured workload specs
+//
+// With -spec-out, each characterised benchmark's measured per-load
+// statistics (dominant stride, locality, coalescing degree, working-set
+// size, regularity) are additionally emitted as a workload-spec JSON file
+// <dir>/<app>-measured.json, runnable with apressim -spec. This closes the
+// loop simulate -> characterize -> re-simulate from spec.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -28,6 +37,7 @@ func main() {
 		all     = flag.Bool("all", false, "characterise all 15 benchmarks")
 		scale   = flag.Float64("scale", 1, "workload iteration scale")
 		sms     = flag.Int("sms", 0, "override SM count")
+		specOut = flag.String("spec-out", "", "write each app's measured characteristics as a workload-spec JSON into this directory")
 		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
 		showVer = flag.Bool("version", false, "print the simulator version stamp and exit")
@@ -67,5 +77,27 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Print(harness.RenderTableI(rows))
+
+	if *specOut != "" {
+		if err := os.MkdirAll(*specOut, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		// TableI already ran every app with load statistics, so the memo
+		// cache makes these re-runs free.
+		for _, app := range list {
+			s, err := r.MeasuredSpec(context.Background(), app)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", app, err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*specOut, s.Name+".json")
+			if err := os.WriteFile(path, s.Encode(), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
 	fmt.Fprintf(os.Stderr, "wall time: %v\n", time.Since(start).Round(time.Millisecond))
 }

@@ -7,17 +7,29 @@
 //	experiments -scale 0.25     # smaller workloads (quick look)
 //	experiments -jobs 8         # simulate up to 8 runs in parallel
 //	experiments > results.txt   # capture for EXPERIMENTS.md
+//	experiments -specs examples/specs            # sweep declarative specs
+//	experiments -specs d -spec-configs base,apres,ccws
 //
 // Results are byte-identical whatever -jobs is: parallelism only changes
 // how fast the suite runs (progress/timing goes to stderr, results to
 // stdout).
+//
+// With -specs, the paper experiments are replaced by an IPC sweep over
+// every workload-spec JSON file in the given directory, under the
+// -spec-configs named configurations (default base,apres). Every spec file
+// and every configuration name is validated before any simulation starts;
+// a malformed spec aborts the whole run with exit code 1 and a line- and
+// field-precise error, never a partial sweep.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -26,6 +38,7 @@ import (
 	"apres/internal/profiling"
 	"apres/internal/resultstore"
 	"apres/internal/version"
+	"apres/internal/workspec"
 )
 
 // experimentIDs lists every experiment in output order; -only values are
@@ -42,6 +55,8 @@ func main() {
 		format   = flag.String("format", harness.FormatText, "figure output format: text|csv|md")
 		jobs     = flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		smJobs   = flag.Int("smjobs", 0, "shard each simulation's per-SM loop across this many goroutines (0|1 = serial engine; results are bit-identical)")
+		specDir  = flag.String("specs", "", "sweep every workload-spec JSON file in this directory instead of running the paper experiments")
+		specCfgs = flag.String("spec-configs", "base,apres", "comma-separated named configurations for the -specs sweep")
 		storeDir = flag.String("store", "", "persistent result-store directory shared with apresd (empty = off)")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
@@ -96,6 +111,16 @@ func main() {
 		}
 		r.Store = st
 	}
+
+	if *specDir != "" {
+		if *only != "" {
+			fmt.Fprintln(os.Stderr, "-only selects paper experiments; it does not apply to a -specs sweep")
+			os.Exit(1)
+		}
+		runSpecSweep(r, *specDir, *specCfgs, *format)
+		return
+	}
+
 	all := harness.AllApps()
 	memApps := harness.MemoryIntensiveApps()
 	start := time.Now()
@@ -159,6 +184,86 @@ func main() {
 	total := r.Stats()
 	fmt.Fprintf(os.Stderr, "total wall time: %v (jobs %d, %d sims, %d cache hits, %d dedup waits, %d store hits)\n",
 		time.Since(start).Round(time.Millisecond), effJobs, total.Simulations, total.CacheHits, total.DedupWaits, total.StoreHits)
+}
+
+// runSpecSweep validates every spec file in dir and every configuration
+// name, then sweeps specs x configs and prints an IPC chart. All validation
+// happens before the first simulation: any malformed spec or unknown
+// configuration aborts the whole run with exit code 1.
+func runSpecSweep(r *harness.Runner, dir, cfgList, format string) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(paths) == 0 {
+		fmt.Fprintf(os.Stderr, "no workload-spec files (*.json) in %s\n", dir)
+		os.Exit(1)
+	}
+	sort.Strings(paths)
+
+	var cfgNames []string
+	for _, c := range strings.Split(cfgList, ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			cfgNames = append(cfgNames, c)
+		}
+	}
+	if len(cfgNames) == 0 {
+		fmt.Fprintln(os.Stderr, "-spec-configs names no configurations")
+		os.Exit(1)
+	}
+
+	// Validate everything up front; report every problem, run nothing on
+	// failure.
+	bad := false
+	for _, c := range cfgNames {
+		if _, err := harness.NamedConfig(c); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			bad = true
+		}
+	}
+	specs := make([]*workspec.Spec, 0, len(paths))
+	seen := map[string]string{}
+	for _, p := range paths {
+		s, err := workspec.ParseFile(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			bad = true
+			continue
+		}
+		if _, err := s.Compile(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", p, err)
+			bad = true
+			continue
+		}
+		if prev, dup := seen[s.Name]; dup {
+			fmt.Fprintf(os.Stderr, "%s: spec name %q already used by %s\n", p, s.Name, prev)
+			bad = true
+			continue
+		}
+		seen[s.Name] = p
+		specs = append(specs, s)
+	}
+	if bad {
+		os.Exit(1)
+	}
+
+	t0 := time.Now()
+	chart, err := r.SpecSweep(context.Background(), specs, cfgNames)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	out, err := chart.RenderAs(format)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	stats := r.Stats()
+	fmt.Fprintf(os.Stderr, "spec sweep: %d specs x %d configs, wall %v (%d sims, %d cache hits, %d store hits)\n",
+		len(specs), len(cfgNames), time.Since(t0).Round(time.Millisecond),
+		stats.Simulations, stats.CacheHits, stats.StoreHits)
+	fmt.Print(out)
 }
 
 type stringer struct{ s string }

@@ -85,6 +85,11 @@ func (a *pfAccuracy) decayIfFull() {
 type LoadStat struct {
 	// PC is the static load address.
 	PC arch.PC
+	// Issues counts warp-level issues of the load (pre-coalescing), so
+	// Refs/Issues is the load's average lines per access and
+	// Issues/warps recovers the per-warp dynamic execution count
+	// (workspec's measured-spec emission).
+	Issues int64
 	// Refs counts line references after coalescing.
 	Refs int64
 	// Misses counts L1 misses (including MSHR merges).
@@ -887,6 +892,7 @@ func (sm *SM) recordLoad(pc arch.PC, w arch.WarpID, addr arch.Addr, lines int) {
 		}
 		sm.loadStats[pc] = ls
 	}
+	ls.Issues++
 	ls.Refs += int64(lines)
 	for i := 0; i < lines; i++ {
 		l := sm.lineBuf[i]

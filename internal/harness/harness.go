@@ -171,7 +171,30 @@ func (r *Runner) run(ctx context.Context, app, cfgName string, loadStats bool, o
 	if err != nil {
 		return gpu.Result{}, err
 	}
-	return r.runResolved(ctx, app, "name:"+cfgName, cfgName, cfg, loadStats, o)
+	res, err := resolveNamed(app)
+	if err != nil {
+		return gpu.Result{}, err
+	}
+	return r.runResolved(ctx, res, "name:"+cfgName, cfgName, cfg, loadStats, o)
+}
+
+// resolved couples a runnable workload with its run identity: id keys the
+// memo cache and the persistent store ("KM", or a spec's content-addressed
+// label), and vstamp is the version stamp store entries carry (spec runs
+// fold the workspec schema+compiler version in, so compilation changes
+// invalidate stored spec results without touching named-workload keys).
+type resolved struct {
+	id     string
+	w      workloads.Workload
+	vstamp string
+}
+
+func resolveNamed(app string) (resolved, error) {
+	w, ok := workloads.ByName(app)
+	if !ok {
+		return resolved{}, fmt.Errorf("harness: unknown workload %q", app)
+	}
+	return resolved{id: app, w: w, vstamp: version.Stamp()}, nil
 }
 
 // RunConfig simulates workload app under an explicit (not named)
@@ -187,8 +210,12 @@ func (r *Runner) RunConfigOpts(ctx context.Context, app string, cfg config.Confi
 	if err := cfg.Validate(); err != nil {
 		return gpu.Result{}, err
 	}
+	res, err := resolveNamed(app)
+	if err != nil {
+		return gpu.Result{}, err
+	}
 	digest := resultstore.ConfigDigest(cfg)
-	return r.runResolved(ctx, app, "cfg:"+digest, "cfg:"+digest, cfg, loadStats, o)
+	return r.runResolved(ctx, res, "cfg:"+digest, "cfg:"+digest, cfg, loadStats, o)
 }
 
 // RunTraced simulates workload app under an explicit configuration with
@@ -205,13 +232,19 @@ func (r *Runner) RunTraced(ctx context.Context, app string, cfg config.Config, l
 // parallel engine produces the same event stream as the serial one, so a
 // traced request may carry sm_jobs too).
 func (r *Runner) RunTracedOpts(ctx context.Context, app string, cfg config.Config, loadStats bool, tr *trace.Tracer, o RunOpts) (gpu.Result, error) {
+	res, err := resolveNamed(app)
+	if err != nil {
+		return gpu.Result{}, err
+	}
+	return r.runTraced(ctx, res, cfg, loadStats, tr, o)
+}
+
+// runTraced is the shared traced-run path for named and spec workloads.
+func (r *Runner) runTraced(ctx context.Context, rw resolved, cfg config.Config, loadStats bool, tr *trace.Tracer, o RunOpts) (gpu.Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return gpu.Result{}, err
 	}
-	w, ok := workloads.ByName(app)
-	if !ok {
-		return gpu.Result{}, fmt.Errorf("harness: unknown workload %q", app)
-	}
+	w := rw.w
 	if r.SMs > 0 {
 		cfg.NumSMs = r.SMs
 	}
@@ -231,7 +264,7 @@ func (r *Runner) RunTracedOpts(ctx context.Context, app string, cfg config.Confi
 	}
 	res, err := r.simulate(ctx, cfg, kern, o.SMJobs, opts...)
 	if err != nil {
-		return gpu.Result{}, fmt.Errorf("harness: %s (traced): %w", app, err)
+		return gpu.Result{}, fmt.Errorf("harness: %s (traced): %w", rw.id, err)
 	}
 	return res, nil
 }
@@ -242,8 +275,8 @@ func (r *Runner) RunTracedOpts(ctx context.Context, app string, cfg config.Confi
 // serial and a parallel request for the same run race, one simulates (with
 // its own engine choice) and the other joins it — legitimate only because
 // both engines produce bit-identical results.
-func (r *Runner) runResolved(ctx context.Context, app, tag, label string, cfg config.Config, loadStats bool, o RunOpts) (gpu.Result, error) {
-	k := runKey{app: app, cfg: tag, loadStats: loadStats}
+func (r *Runner) runResolved(ctx context.Context, rw resolved, tag, label string, cfg config.Config, loadStats bool, o RunOpts) (gpu.Result, error) {
+	k := runKey{app: rw.id, cfg: tag, loadStats: loadStats}
 	r.mu.Lock()
 	if res, ok := r.cache[k]; ok {
 		r.stats.CacheHits++
@@ -269,7 +302,7 @@ func (r *Runner) runResolved(ctx context.Context, app, tag, label string, cfg co
 	r.inflight[k] = fl
 	r.mu.Unlock()
 
-	fl.res, fl.err = r.runOnce(ctx, app, label, cfg, loadStats, o)
+	fl.res, fl.err = r.runOnce(ctx, rw, label, cfg, loadStats, o)
 
 	r.mu.Lock()
 	if fl.err == nil {
@@ -286,11 +319,8 @@ func (r *Runner) runResolved(ctx context.Context, app, tag, label string, cfg co
 
 // runOnce performs the actual simulation of one (workload, config) pair,
 // consulting the persistent store first when one is attached.
-func (r *Runner) runOnce(ctx context.Context, app, label string, cfg config.Config, loadStats bool, o RunOpts) (gpu.Result, error) {
-	w, ok := workloads.ByName(app)
-	if !ok {
-		return gpu.Result{}, fmt.Errorf("harness: unknown workload %q", app)
-	}
+func (r *Runner) runOnce(ctx context.Context, rw resolved, label string, cfg config.Config, loadStats bool, o RunOpts) (gpu.Result, error) {
+	w := rw.w
 	if r.SMs > 0 {
 		cfg.NumSMs = r.SMs
 	}
@@ -310,7 +340,7 @@ func (r *Runner) runOnce(ctx context.Context, app, label string, cfg config.Conf
 	// entries. Adjusted runs skip the store entirely.
 	var storeKey string
 	if r.Store != nil && r.Adjust == nil {
-		storeKey = resultstore.Key(app, r.Scale, loadStats, cfg, version.Stamp())
+		storeKey = resultstore.Key(rw.id, r.Scale, loadStats, cfg, rw.vstamp)
 		if e, ok := r.Store.Get(storeKey); ok {
 			r.mu.Lock()
 			r.stats.StoreHits++
@@ -325,14 +355,14 @@ func (r *Runner) runOnce(ctx context.Context, app, label string, cfg config.Conf
 	}
 	res, err := r.simulate(ctx, cfg, kern, o.SMJobs, opts...)
 	if err != nil {
-		return gpu.Result{}, fmt.Errorf("harness: %s/%s: %w", app, label, err)
+		return gpu.Result{}, fmt.Errorf("harness: %s/%s: %w", rw.id, label, err)
 	}
 	if storeKey != "" {
 		if err := r.Store.Put(storeKey, resultstore.Entry{
-			Workload:  app,
+			Workload:  rw.id,
 			Scale:     r.Scale,
 			LoadStats: loadStats,
-			Version:   version.Stamp(),
+			Version:   rw.vstamp,
 			Result:    res,
 		}); err != nil {
 			// A persistence failure must not fail the run; count it so

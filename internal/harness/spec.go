@@ -1,0 +1,284 @@
+// Spec-driven runs: the harness entry points for declarative workloads
+// (internal/workspec). A compiled spec flows through exactly the same
+// memoisation, singleflight, worker-pool and persistent-store machinery as
+// the 15 named workloads; only its identity differs — spec runs are keyed
+// by the spec's canonical content digest, and their store entries carry the
+// workspec schema+compiler version folded into the version stamp so
+// compilation changes invalidate them independently of the model version.
+package harness
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"apres/internal/arch"
+	"apres/internal/config"
+	"apres/internal/core"
+	"apres/internal/gpu"
+	"apres/internal/resultstore"
+	"apres/internal/trace"
+	"apres/internal/version"
+	"apres/internal/workloads"
+	"apres/internal/workspec"
+)
+
+// SpecID is the identity a spec run is keyed by in the memo cache and the
+// persistent store: the spec name plus the full canonical content digest,
+// so two different specs sharing a name can never collide.
+func SpecID(s *workspec.Spec) string {
+	return "spec:" + s.Name + ":" + s.Digest()
+}
+
+// specVersionStamp folds the workspec schema+compiler version into the
+// model version stamp for spec-run store entries.
+func specVersionStamp() string {
+	return version.Stamp() + "+" + workspec.VersionTag()
+}
+
+func resolveSpec(s *workspec.Spec) (resolved, error) {
+	w, err := s.Compile()
+	if err != nil {
+		return resolved{}, err
+	}
+	return resolved{id: SpecID(s), w: w, vstamp: specVersionStamp()}, nil
+}
+
+// RunSpec simulates a compiled spec under a named configuration, with the
+// same memoisation and persistence as named workloads.
+func (r *Runner) RunSpec(ctx context.Context, s *workspec.Spec, cfgName string, loadStats bool, o RunOpts) (gpu.Result, error) {
+	cfg, err := NamedConfig(cfgName)
+	if err != nil {
+		return gpu.Result{}, err
+	}
+	rw, err := resolveSpec(s)
+	if err != nil {
+		return gpu.Result{}, err
+	}
+	return r.runResolved(ctx, rw, "name:"+cfgName, cfgName, cfg, loadStats, o)
+}
+
+// RunSpecConfig is RunSpec under an explicit configuration.
+func (r *Runner) RunSpecConfig(ctx context.Context, s *workspec.Spec, cfg config.Config, loadStats bool, o RunOpts) (gpu.Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return gpu.Result{}, err
+	}
+	rw, err := resolveSpec(s)
+	if err != nil {
+		return gpu.Result{}, err
+	}
+	digest := resultstore.ConfigDigest(cfg)
+	return r.runResolved(ctx, rw, "cfg:"+digest, "cfg:"+digest, cfg, loadStats, o)
+}
+
+// RunSpecTraced is the traced-run path for specs: like RunTraced it
+// bypasses all caches (a trace is a property of an actual execution) but
+// still funnels through the worker pool.
+func (r *Runner) RunSpecTraced(ctx context.Context, s *workspec.Spec, cfg config.Config, loadStats bool, tr *trace.Tracer, o RunOpts) (gpu.Result, error) {
+	rw, err := resolveSpec(s)
+	if err != nil {
+		return gpu.Result{}, err
+	}
+	return r.runTraced(ctx, rw, cfg, loadStats, tr, o)
+}
+
+// SpecStoreKey returns the persistent-store key a spec run would use, or
+// "" when no store is attached (or an Adjust hook makes runs
+// non-addressable). The daemon includes it in responses.
+func (r *Runner) SpecStoreKey(s *workspec.Spec, cfg config.Config, loadStats bool) string {
+	if r.Store == nil || r.Adjust != nil {
+		return ""
+	}
+	if r.SMs > 0 {
+		cfg.NumSMs = r.SMs
+	}
+	return resultstore.Key(SpecID(s), r.Scale, loadStats, cfg, specVersionStamp())
+}
+
+// MemoisedSpec reports whether a spec run under a named configuration is
+// already in the in-memory cache.
+func (r *Runner) MemoisedSpec(s *workspec.Spec, cfgName string, loadStats bool) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.cache[runKey{app: SpecID(s), cfg: "name:" + cfgName, loadStats: loadStats}]
+	return ok
+}
+
+// MemoisedSpecConfig is MemoisedSpec for explicit-config runs.
+func (r *Runner) MemoisedSpecConfig(s *workspec.Spec, cfg config.Config, loadStats bool) bool {
+	tag := "cfg:" + resultstore.ConfigDigest(cfg)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.cache[runKey{app: SpecID(s), cfg: tag, loadStats: loadStats}]
+	return ok
+}
+
+// SpecSweep simulates every spec under every named configuration
+// concurrently and charts IPC (rows = configs, columns = specs by name).
+func (r *Runner) SpecSweep(ctx context.Context, specs []*workspec.Spec, cfgNames []string) (*Chart, error) {
+	type cell struct {
+		spec *workspec.Spec
+		cfg  string
+	}
+	var cells []cell
+	for _, s := range specs {
+		for _, c := range cfgNames {
+			cells = append(cells, cell{s, c})
+		}
+	}
+	vals, err := mapConcurrent(r.workers(), cells, func(_ int, c cell) (float64, error) {
+		res, err := r.RunSpec(ctx, c.spec, c.cfg, false, RunOpts{})
+		if err != nil {
+			return 0, err
+		}
+		return res.IPC(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	chart := &Chart{Title: "Spec sweep: IPC", Format: "%.3f"}
+	for _, s := range specs {
+		chart.Apps = append(chart.Apps, s.Name)
+	}
+	for _, cfgName := range cfgNames {
+		chart.Series = append(chart.Series, Series{Name: cfgName, Values: map[string]float64{}})
+	}
+	for i, c := range cells {
+		si := i % len(cfgNames)
+		chart.Series[si].Values[c.spec.Name] = vals[i]
+	}
+	return chart, nil
+}
+
+// MeasuredSpec characterises a workload under the baseline configuration
+// and emits the measurements as a workspec: each static load's measured
+// dominant inter-warp stride, locality (#L/#R), coalescing degree (lines
+// per access), working-set size and stride regularity become the
+// corresponding PatternSpec knobs, and the kernel geometry and instruction
+// mix are recovered from the run's aggregate counters. This closes the
+// loop simulate -> characterize -> re-simulate from spec.
+//
+// The emission is a measured approximation, not a decompilation: regular
+// loads (dominant-stride share >= 0.5) become linear strided patterns,
+// irregular ones become Random patterns over the measured working set, and
+// shared-memory traffic and per-load jitter are folded into plain ALU
+// bursts. Iteration counts reflect the run as executed, i.e. after the
+// Runner's Scale was applied.
+func (r *Runner) MeasuredSpec(ctx context.Context, app string) (*workspec.Spec, error) {
+	res, err := r.RunWithLoadStatsContext(ctx, app, "base")
+	if err != nil {
+		return nil, err
+	}
+	w, ok := workloads.ByName(app)
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown workload %q", app)
+	}
+	stats := make([]*core.LoadStat, 0, len(res.LoadStats))
+	for _, ls := range res.LoadStats {
+		stats = append(stats, ls)
+	}
+	if len(stats) == 0 {
+		return nil, fmt.Errorf("harness: %s: run recorded no load statistics", app)
+	}
+	// Most frequently executed loads first, like Table I.
+	sort.Slice(stats, func(i, j int) bool {
+		if stats[i].Refs != stats[j].Refs {
+			return stats[i].Refs > stats[j].Refs
+		}
+		return stats[i].PC < stats[j].PC
+	})
+
+	launches := int64(w.Kernel.TotalLaunches())
+	// Every load issues once per body pass, so the busiest load's per-warp
+	// issue count recovers the executed iteration count.
+	iters := int64(1)
+	for _, ls := range stats {
+		if n := (ls.Issues + launches - 1) / launches; n > iters {
+			iters = n
+		}
+	}
+	// ALU budget: aggregate instructions minus the measured memory issues,
+	// spread evenly across the loads of one iteration.
+	warpInsts := res.Total.Instructions / int64(res.Config.NumSMs) / launches
+	memPerIter := int64(len(stats))
+	aluPerLoad := (warpInsts/iters - memPerIter) / int64(len(stats))
+	if aluPerLoad < 1 {
+		aluPerLoad = 1
+	}
+
+	ks := workspec.KernelSpec{
+		WarpsPerSM:       w.Kernel.WarpsPerSM,
+		LaunchWarpsPerSM: w.Kernel.LaunchWarpsPerSM,
+		Iterations:       int(iters),
+	}
+	for i, ls := range stats {
+		p := measuredPattern(ls, i, w.Kernel.WarpsPerSM)
+		ks.Body = append(ks.Body,
+			workspec.InstSpec{Op: "load", PC: uint32(ls.PC), Pattern: p},
+			workspec.InstSpec{Op: "alu", DependsOnMem: true},
+		)
+		if aluPerLoad > 1 {
+			ks.Body = append(ks.Body, workspec.InstSpec{Op: "alu", Repeat: int(aluPerLoad - 1)})
+		}
+	}
+	s := &workspec.Spec{
+		SpecVersion: workspec.Version,
+		Name:        app + "-measured",
+		Category:    w.Category.String(),
+		Description: fmt.Sprintf("measured from a %s run at scale %g (characterize -spec-out)", app, r.Scale),
+		Kernels:     []workspec.KernelSpec{ks},
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("harness: %s: measured spec invalid: %w", app, err)
+	}
+	return s, nil
+}
+
+// measuredPattern maps one load's measured statistics onto pattern knobs.
+func measuredPattern(ls *core.LoadStat, idx, warps int) *workspec.PatternSpec {
+	// Address-space layout like internal/workloads: each load gets its own
+	// array, per-SM data separated.
+	p := &workspec.PatternSpec{
+		Base:     uint64(idx+1) << 32,
+		SMStride: 1 << 26,
+	}
+	// Coalescing degree: average lines per access sets the lane span.
+	avgLines := int64(1)
+	if ls.Issues > 0 {
+		avgLines = (ls.Refs + ls.Issues - 1) / ls.Issues
+	}
+	p.LaneStride = avgLines * arch.LineSizeBytes / arch.WarpSize
+	if p.LaneStride < 4 {
+		p.LaneStride = 4
+	}
+	stride, share := ls.DominantStride()
+	workingSet := ls.UniqueLines * arch.LineSizeBytes
+	switch {
+	case share >= 0.5 && stride != 0:
+		// Regular: the measured inter-warp stride, advancing a full
+		// warp-round per iteration (the streaming idiom).
+		p.WarpStride = stride
+		p.IterStride = stride * int64(warps)
+	default:
+		// Irregular: pseudo-random draws over the measured working set.
+		p.Random = true
+		p.WrapBytes = nextPow2(workingSet)
+		p.Seed = uint64(ls.PC)
+		if ls.LinesPerRef() < 0.3 {
+			// High inter-warp locality: the warps share the footprint.
+			p.WarpShare = 64
+		}
+	}
+	return p
+}
+
+func nextPow2(v int64) int64 {
+	if v < arch.LineSizeBytes {
+		return arch.LineSizeBytes
+	}
+	n := int64(arch.LineSizeBytes)
+	for n < v {
+		n <<= 1
+	}
+	return n
+}

@@ -67,34 +67,86 @@ type Inst struct {
 
 // Program is a straight-line body executed Iterations times by every warp
 // (the paper's target loads all live in the hot loop of the most
-// memory-intensive kernel, Section III.B).
+// memory-intensive kernel, Section III.B). Tail, when non-empty, appends
+// further phases executed sequentially after the main body completes: the
+// compiled form of a multi-kernel sequence (internal/workspec), where a
+// later kernel can re-read an earlier kernel's arrays through the caches
+// (inter-kernel reuse).
 type Program struct {
+	Body       []Inst
+	Iterations int
+	Tail       []Phase
+}
+
+// Phase is one additional program phase of a multi-kernel sequence.
+type Phase struct {
 	Body       []Inst
 	Iterations int
 }
 
-// Validate checks the program for structural errors.
-func (p Program) Validate() error {
-	if len(p.Body) == 0 {
-		return fmt.Errorf("kernel: empty program body")
+// NumPhases returns the number of phases (1 + len(Tail)).
+func (p *Program) NumPhases() int { return 1 + len(p.Tail) }
+
+// PhaseAt returns phase i's body and iteration count (phase 0 is the main
+// Body/Iterations pair).
+func (p *Program) PhaseAt(i int) ([]Inst, int) {
+	if i == 0 {
+		return p.Body, p.Iterations
 	}
-	if p.Iterations <= 0 {
-		return fmt.Errorf("kernel: Iterations must be positive, got %d", p.Iterations)
+	ph := &p.Tail[i-1]
+	return ph.Body, ph.Iterations
+}
+
+// validatePhase checks one phase's body. Static PCs must be unique within a
+// phase; across phases the same PC may legitimately reappear (a later
+// kernel of a sequence re-executing the same static load).
+func validatePhase(body []Inst, iterations int, phase int) error {
+	where := func(i int) string {
+		if phase == 0 {
+			return fmt.Sprintf("body[%d]", i)
+		}
+		return fmt.Sprintf("tail[%d].body[%d]", phase-1, i)
+	}
+	if len(body) == 0 {
+		if phase == 0 {
+			return fmt.Errorf("kernel: empty program body")
+		}
+		return fmt.Errorf("kernel: tail[%d] has an empty body", phase-1)
+	}
+	if iterations <= 0 {
+		if phase == 0 {
+			return fmt.Errorf("kernel: Iterations must be positive, got %d", iterations)
+		}
+		return fmt.Errorf("kernel: tail[%d] Iterations must be positive, got %d", phase-1, iterations)
 	}
 	seen := map[arch.PC]bool{}
-	for i, in := range p.Body {
+	for i, in := range body {
 		if in.Repeat < 0 {
-			return fmt.Errorf("kernel: body[%d] has negative Repeat", i)
+			return fmt.Errorf("kernel: %s has negative Repeat", where(i))
 		}
 		switch in.Op {
 		case OpLoad, OpStore:
 			if in.PC == 0 {
-				return fmt.Errorf("kernel: body[%d] memory op needs a nonzero PC", i)
+				return fmt.Errorf("kernel: %s memory op needs a nonzero PC", where(i))
 			}
 			if seen[in.PC] {
 				return fmt.Errorf("kernel: duplicate PC %#x", in.PC)
 			}
 			seen[in.PC] = true
+			if err := in.Pattern.validate(); err != nil {
+				return fmt.Errorf("kernel: %s: %w", where(i), err)
+			}
+		}
+	}
+	return nil
+}
+
+// Validate checks the program for structural errors.
+func (p Program) Validate() error {
+	for ph := 0; ph < p.NumPhases(); ph++ {
+		body, iters := p.PhaseAt(ph)
+		if err := validatePhase(body, iters, ph); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -124,37 +176,66 @@ func (k Kernel) TotalLaunches() int {
 	return k.WarpsPerSM
 }
 
-// Scaled returns a copy of the kernel with iteration count multiplied by
-// factor (minimum 1); used to shrink workloads for unit tests.
+// Scaled returns a copy of the kernel with every phase's iteration count
+// multiplied by factor (minimum 1); used to shrink workloads for unit
+// tests. Tail is deep-copied so the original kernel is never mutated.
 func (k Kernel) Scaled(factor float64) Kernel {
-	it := int(float64(k.Program.Iterations) * factor)
-	if it < 1 {
-		it = 1
+	scale := func(it int) int {
+		s := int(float64(it) * factor)
+		if s < 1 {
+			s = 1
+		}
+		return s
 	}
-	k.Program.Iterations = it
+	k.Program.Iterations = scale(k.Program.Iterations)
+	if len(k.Program.Tail) > 0 {
+		tail := make([]Phase, len(k.Program.Tail))
+		copy(tail, k.Program.Tail)
+		for i := range tail {
+			tail[i].Iterations = scale(tail[i].Iterations)
+		}
+		k.Program.Tail = tail
+	}
 	return k
 }
 
-// TotalWarpInsts returns the number of warp instructions one warp executes,
-// with Repeat expansion.
-func (k Kernel) TotalWarpInsts() int64 {
+// bodyInsts returns the number of instruction issues one pass over body
+// takes, with Repeat expansion (excluding RepeatJitter).
+func bodyInsts(body []Inst) int64 {
 	per := int64(0)
-	for _, in := range k.Program.Body {
+	for _, in := range body {
 		r := in.Repeat
 		if r <= 0 {
 			r = 1
 		}
 		per += int64(r)
 	}
-	return per * int64(k.Program.Iterations)
+	return per
+}
+
+// TotalWarpInsts returns the number of warp instructions one warp executes
+// across all phases, with Repeat expansion.
+func (k Kernel) TotalWarpInsts() int64 {
+	total := int64(0)
+	for ph := 0; ph < k.Program.NumPhases(); ph++ {
+		body, iters := k.Program.PhaseAt(ph)
+		total += bodyInsts(body) * int64(iters)
+	}
+	return total
 }
 
 // Walker steps one warp through a program, expanding Repeat counts (plus
-// the warp- and iteration-dependent RepeatJitter).
+// the warp- and iteration-dependent RepeatJitter) and crossing phase
+// boundaries of multi-kernel sequences.
 type Walker struct {
 	prog *Program
 	warp arch.WarpID
-	// idx is the current body index; iter the current iteration.
+	// body/iters cache the current phase (phase 0 = Program.Body).
+	body  []Inst
+	iters int
+	phase int
+	// idx is the current body index; iter the current iteration within
+	// the phase.
 	idx, iter int
 	// repLeft counts remaining repeats of the current instruction.
 	repLeft int
@@ -164,18 +245,22 @@ type Walker struct {
 // NewWalker returns a walker positioned at warp's first instruction.
 func NewWalker(p *Program, warp arch.WarpID) Walker {
 	w := Walker{prog: p, warp: warp}
+	w.body, w.iters = p.PhaseAt(0)
 	w.loadRep()
 	return w
 }
 
 func (w *Walker) loadRep() {
-	in := &w.prog.Body[w.idx]
+	in := &w.body[w.idx]
 	r := in.Repeat
 	if r <= 0 {
 		r = 1
 	}
 	if in.RepeatJitter > 0 {
-		h := splitmix64(uint64(w.warp)<<40 ^ uint64(w.iter)<<8 ^ uint64(w.idx))
+		// The phase term vanishes for phase 0, keeping single-phase
+		// programs (all 15 Table-IV workloads) bit-identical to the
+		// pre-phase walker.
+		h := splitmix64(uint64(w.warp)<<40 ^ uint64(w.iter)<<8 ^ uint64(w.idx) ^ uint64(w.phase)<<56)
 		r += int(h % uint64(in.RepeatJitter+1))
 	}
 	w.repLeft = r
@@ -184,12 +269,16 @@ func (w *Walker) loadRep() {
 // Done reports whether the warp has exited.
 func (w *Walker) Done() bool { return w.done }
 
-// Iter returns the current iteration index.
+// Iter returns the current iteration index within the current phase (the
+// iteration term of Pattern address generation).
 func (w *Walker) Iter() int { return w.iter }
+
+// Phase returns the current phase index (0 = the main body).
+func (w *Walker) Phase() int { return w.phase }
 
 // Peek returns the next instruction without consuming it. It must not be
 // called after Done.
-func (w *Walker) Peek() *Inst { return &w.prog.Body[w.idx] }
+func (w *Walker) Peek() *Inst { return &w.body[w.idx] }
 
 // Advance consumes one issue of the current instruction.
 func (w *Walker) Advance() {
@@ -201,40 +290,43 @@ func (w *Walker) Advance() {
 		return
 	}
 	w.idx++
-	if w.idx == len(w.prog.Body) {
+	if w.idx == len(w.body) {
 		w.idx = 0
 		w.iter++
-		if w.iter == w.prog.Iterations {
-			w.done = true
-			return
+		if w.iter == w.iters {
+			w.phase++
+			if w.phase == w.prog.NumPhases() {
+				w.done = true
+				return
+			}
+			w.iter = 0
+			w.body, w.iters = w.prog.PhaseAt(w.phase)
 		}
 	}
 	w.loadRep()
 }
 
-// Remaining returns how many instruction issues remain for this warp,
-// excluding future RepeatJitter (exact only for jitter-free programs).
+// Remaining returns how many instruction issues remain for this warp
+// across all phases, excluding future RepeatJitter (exact only for
+// jitter-free programs).
 func (w *Walker) Remaining() int64 {
 	if w.done {
 		return 0
 	}
-	per := int64(0)
-	for _, in := range w.prog.Body {
-		r := in.Repeat
-		if r <= 0 {
-			r = 1
-		}
-		per += int64(r)
-	}
-	full := per * int64(w.prog.Iterations-w.iter-1)
 	// Remainder of the current iteration.
 	cur := int64(w.repLeft)
-	for i := w.idx + 1; i < len(w.prog.Body); i++ {
-		r := w.prog.Body[i].Repeat
+	for i := w.idx + 1; i < len(w.body); i++ {
+		r := w.body[i].Repeat
 		if r <= 0 {
 			r = 1
 		}
 		cur += int64(r)
 	}
-	return full + cur
+	// Remaining full iterations of the current phase, then later phases.
+	cur += bodyInsts(w.body) * int64(w.iters-w.iter-1)
+	for p := w.phase + 1; p < w.prog.NumPhases(); p++ {
+		body, iters := w.prog.PhaseAt(p)
+		cur += bodyInsts(body) * int64(iters)
+	}
+	return cur
 }

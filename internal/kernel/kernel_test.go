@@ -209,3 +209,163 @@ func TestQuickPatternAffine(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestWalkerPhases(t *testing.T) {
+	p := Program{
+		Body:       []Inst{{Op: OpLoad, PC: 0x10, Pattern: Pattern{LaneStride: 4}}, {Op: OpALU, DependsOnMem: true}},
+		Iterations: 2,
+		Tail: []Phase{
+			{Body: []Inst{{Op: OpALU, Repeat: 3}}, Iterations: 2},
+			{Body: []Inst{{Op: OpStore, PC: 0x10, Pattern: Pattern{LaneStride: 4}}}, Iterations: 1},
+		},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	w := NewWalker(&p, 5)
+	var ops []Op
+	var phases []int
+	var iters []int
+	for !w.Done() {
+		ops = append(ops, w.Peek().Op)
+		phases = append(phases, w.Phase())
+		iters = append(iters, w.Iter())
+		w.Advance()
+	}
+	wantOps := []Op{OpLoad, OpALU, OpLoad, OpALU, OpALU, OpALU, OpALU, OpALU, OpALU, OpALU, OpStore}
+	wantPhases := []int{0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 2}
+	wantIters := []int{0, 0, 1, 1, 0, 0, 0, 1, 1, 1, 0}
+	if len(ops) != len(wantOps) {
+		t.Fatalf("issued %d insts, want %d (%v)", len(ops), len(wantOps), ops)
+	}
+	for i := range ops {
+		if ops[i] != wantOps[i] || phases[i] != wantPhases[i] || iters[i] != wantIters[i] {
+			t.Fatalf("issue %d: got (%v, phase %d, iter %d), want (%v, phase %d, iter %d)",
+				i, ops[i], phases[i], iters[i], wantOps[i], wantPhases[i], wantIters[i])
+		}
+	}
+	k := Kernel{Program: p}
+	if got := k.TotalWarpInsts(); got != int64(len(wantOps)) {
+		t.Fatalf("TotalWarpInsts = %d, want %d", got, len(wantOps))
+	}
+}
+
+func TestWalkerRemainingAcrossPhases(t *testing.T) {
+	p := Program{
+		Body:       []Inst{{Op: OpALU, Repeat: 2}},
+		Iterations: 3,
+		Tail:       []Phase{{Body: []Inst{{Op: OpALU}, {Op: OpALU, Repeat: 4}}, Iterations: 2}},
+	}
+	w := NewWalker(&p, 0)
+	total := w.Remaining()
+	k := Kernel{Program: p}
+	if total != k.TotalWarpInsts() {
+		t.Fatalf("Remaining at start = %d, want %d", total, k.TotalWarpInsts())
+	}
+	for i := int64(0); !w.Done(); i++ {
+		if got := w.Remaining(); got != total-i {
+			t.Fatalf("after %d issues Remaining = %d, want %d", i, got, total-i)
+		}
+		w.Advance()
+	}
+}
+
+func TestScaledPhasesDoNotAliasOriginal(t *testing.T) {
+	p := Program{
+		Body:       []Inst{{Op: OpALU}},
+		Iterations: 100,
+		Tail:       []Phase{{Body: []Inst{{Op: OpALU}}, Iterations: 40}},
+	}
+	k := Kernel{Program: p}
+	s := k.Scaled(0.5)
+	if s.Program.Iterations != 50 || s.Program.Tail[0].Iterations != 20 {
+		t.Fatalf("scaled iterations = %d/%d, want 50/20",
+			s.Program.Iterations, s.Program.Tail[0].Iterations)
+	}
+	if k.Program.Tail[0].Iterations != 40 {
+		t.Fatalf("Scaled mutated the original tail: %d", k.Program.Tail[0].Iterations)
+	}
+}
+
+func TestValidateRejectsBadPhases(t *testing.T) {
+	base := []Inst{{Op: OpALU}}
+	cases := []Program{
+		{Body: base, Iterations: 1, Tail: []Phase{{Body: nil, Iterations: 1}}},
+		{Body: base, Iterations: 1, Tail: []Phase{{Body: base, Iterations: 0}}},
+		{Body: base, Iterations: 1, Tail: []Phase{{Body: []Inst{{Op: OpLoad, PC: 0}}, Iterations: 1}}},
+		{Body: base, Iterations: 1, Tail: []Phase{{Body: []Inst{
+			{Op: OpLoad, PC: 0x8, Pattern: Pattern{LaneStride: 4}},
+			{Op: OpStore, PC: 0x8, Pattern: Pattern{LaneStride: 4}},
+		}, Iterations: 1}}},
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted a bad phase", i)
+		}
+	}
+	// The same PC in two different phases is legitimate (a later kernel
+	// re-executing the same static load).
+	ok := Program{
+		Body:       []Inst{{Op: OpLoad, PC: 0x8, Pattern: Pattern{LaneStride: 4}}},
+		Iterations: 1,
+		Tail: []Phase{{Body: []Inst{{Op: OpLoad, PC: 0x8, Pattern: Pattern{LaneStride: 4}}},
+			Iterations: 1}},
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("cross-phase PC reuse should validate: %v", err)
+	}
+}
+
+func TestAddrTablePattern(t *testing.T) {
+	tbl := &AddrTable{
+		Warps: 2, Iters: 3,
+		Addrs: []arch.Addr{0x1000, 0x2000, 0x3000, 0x9000, 0xA000, 0xB000},
+		Sizes: []int32{128, 128, 4, 256, 128, 128},
+	}
+	p := Pattern{Table: tbl, SMStride: 1 << 20}
+	if err := p.validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Lane 0 reads the recorded lead address.
+	if got := p.Addr(0, 0, 0, 0); got != 0x1000 {
+		t.Fatalf("(w0,i0,l0) = %#x, want 0x1000", got)
+	}
+	// Lanes spread across the recorded span: size 128 -> stride 4.
+	if got := p.Addr(0, 0, 0, 31); got != 0x1000+31*4 {
+		t.Fatalf("(w0,i0,l31) = %#x, want %#x", got, 0x1000+31*4)
+	}
+	// Size 256 -> two lines per access.
+	if got := p.Addr(0, 1, 0, 31); got != 0x9000+31*8 {
+		t.Fatalf("(w1,i0,l31) = %#x, want %#x", got, 0x9000+31*8)
+	}
+	// Size 4 -> all lanes on the lead address (fully shared scalar).
+	if got := p.Addr(0, 0, 2, 31); got != 0x3000+3 {
+		t.Fatalf("(w0,i2,l31) = %#x, want %#x", got, 0x3000+3)
+	}
+	// SMs replay private copies offset by SMStride.
+	if got := p.Addr(3, 0, 0, 0); got != 0x1000+3<<20 {
+		t.Fatalf("sm3 = %#x, want %#x", got, 0x1000+3<<20)
+	}
+	// Iterations past the recorded length repeat the final access.
+	if got := p.Addr(0, 0, 7, 0); got != 0x3000 {
+		t.Fatalf("padded iter = %#x, want 0x3000", got)
+	}
+	// Logical warps past the table wrap onto recorded warps.
+	if got := p.Addr(0, 2, 0, 0); got != 0x1000 {
+		t.Fatalf("wrapped warp = %#x, want 0x1000", got)
+	}
+}
+
+func TestAddrTableValidate(t *testing.T) {
+	bad := []*AddrTable{
+		{Warps: 0, Iters: 1, Addrs: []arch.Addr{}, Sizes: []int32{}},
+		{Warps: 1, Iters: 2, Addrs: []arch.Addr{1}, Sizes: []int32{4}},
+		{Warps: 1, Iters: 1, Addrs: []arch.Addr{1}, Sizes: []int32{0}},
+	}
+	for i, tbl := range bad {
+		p := Program{Body: []Inst{{Op: OpLoad, PC: 0x10, Pattern: Pattern{Table: tbl}}}, Iterations: 1}
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted a bad address table", i)
+		}
+	}
+}

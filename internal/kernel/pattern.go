@@ -6,7 +6,57 @@
 // behaviour.
 package kernel
 
-import "apres/internal/arch"
+import (
+	"fmt"
+
+	"apres/internal/arch"
+)
+
+// AddrTable replays recorded per-warp address sequences (trace replay,
+// internal/workspec): entry (warp, iter) holds the lead byte address and
+// byte span of that warp's iter-th dynamic access of one static
+// instruction. A Pattern carrying a Table ignores its synthetic stride
+// terms; only SMStride still applies (separating per-SM replay copies).
+type AddrTable struct {
+	// Warps and Iters give the table extent. Addrs and Sizes are dense
+	// row-major [warp][iter] arrays of length Warps*Iters.
+	Warps, Iters int
+	Addrs        []arch.Addr
+	// Sizes holds each access's span in bytes; the 32 lanes are spread
+	// evenly across it (size 128 = one line, fully coalesced).
+	Sizes []int32
+}
+
+// At returns the recorded lead address and size for (warp, iter). Logical
+// warp IDs past the recorded warp count wrap onto recorded warps (CTA
+// refill re-uses the recorded streams); iterations past the recorded
+// length repeat the final access (warm, documented padding).
+func (t *AddrTable) At(warp arch.WarpID, iter int) (arch.Addr, int32) {
+	w := int(warp) % t.Warps
+	if iter >= t.Iters {
+		iter = t.Iters - 1
+	}
+	i := w*t.Iters + iter
+	return t.Addrs[i], t.Sizes[i]
+}
+
+// validate checks a table-backed pattern's internal consistency.
+func (t *AddrTable) validate() error {
+	if t.Warps <= 0 || t.Iters <= 0 {
+		return fmt.Errorf("address table needs positive extent, got %dx%d", t.Warps, t.Iters)
+	}
+	n := t.Warps * t.Iters
+	if len(t.Addrs) != n || len(t.Sizes) != n {
+		return fmt.Errorf("address table %dx%d wants %d entries, got %d addrs / %d sizes",
+			t.Warps, t.Iters, n, len(t.Addrs), len(t.Sizes))
+	}
+	for i, s := range t.Sizes {
+		if s <= 0 {
+			return fmt.Errorf("address table entry %d has non-positive size %d", i, s)
+		}
+	}
+	return nil
+}
 
 // Pattern describes the address function of one static memory instruction.
 // The effective address for (sm, warp, iter, lane) is
@@ -50,6 +100,19 @@ type Pattern struct {
 	LaneRandom bool
 	// Seed perturbs the hash for Random/LaneRandom patterns.
 	Seed uint64
+	// Table, when non-nil, replaces synthetic address generation with a
+	// recorded per-warp address table (trace replay). Of the synthetic
+	// fields only SMStride still applies.
+	Table *AddrTable
+}
+
+// validate checks the pattern's internal consistency (currently only
+// table-backed patterns can be inconsistent).
+func (p Pattern) validate() error {
+	if p.Table != nil {
+		return p.Table.validate()
+	}
+	return nil
 }
 
 // splitmix64 is the SplitMix64 mixing function: a tiny, high-quality,
@@ -63,6 +126,14 @@ func splitmix64(x uint64) uint64 {
 
 // Addr returns the byte address accessed by the given lane.
 func (p Pattern) Addr(sm int, warp arch.WarpID, iter, lane int) arch.Addr {
+	if p.Table != nil {
+		base, size := p.Table.At(warp, iter)
+		addr := int64(base) + int64(sm)*p.SMStride + int64(lane)*int64(size)/arch.WarpSize
+		if addr < 0 {
+			addr = -addr
+		}
+		return arch.Addr(addr)
+	}
 	if p.WarpShare > 1 {
 		warp /= arch.WarpID(p.WarpShare)
 	}

@@ -19,6 +19,13 @@
 // "apres" or "ccws+str") or inline full config.Config JSON objects. Bad
 // requests — unknown workloads, unknown config names, configurations that
 // fail config.Validate — return 400 with a JSON error body.
+//
+// Workloads are either named (the 15 Table-IV models) or inline workspec
+// objects ("spec": {...}, including trace-replay specs): the spec is
+// validated (field-precise 400s on schema violations), compiled, and run
+// through the same caches, keyed by its canonical content digest — so an
+// identical spec POSTed twice simulates once and is served from the store
+// on repeat, however its JSON was formatted.
 package server
 
 import (
@@ -42,10 +49,12 @@ import (
 	"apres/internal/trace"
 	"apres/internal/version"
 	"apres/internal/workloads"
+	"apres/internal/workspec"
 )
 
-// maxBodyBytes bounds request bodies; config JSON is tiny.
-const maxBodyBytes = 1 << 20
+// maxBodyBytes bounds request bodies; config JSON is tiny, but inline
+// specs may carry recorded trace records, so allow a few MB.
+const maxBodyBytes = 4 << 20
 
 // Options configures a Server.
 type Options struct {
@@ -165,11 +174,17 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
-// SimulateRequest is the POST /v1/simulate body. Exactly one of Config
-// (a harness.NamedConfig name) or ConfigInline (a full config.Config) may
-// be set; with neither, "base" is used.
+// SimulateRequest is the POST /v1/simulate body. Exactly one of Workload
+// (a Table-IV benchmark name) or Spec (an inline workspec object) selects
+// the workload, and at most one of Config (a harness.NamedConfig name) or
+// ConfigInline (a full config.Config) the configuration; with neither
+// config field, "base" is used.
 type SimulateRequest struct {
-	Workload     string         `json:"workload"`
+	Workload string `json:"workload,omitempty"`
+	// Spec is an inline declarative workload (internal/workspec),
+	// including trace-replay specs. It is validated and compiled before
+	// the run, and keyed everywhere by its canonical content digest.
+	Spec         *workspec.Spec `json:"spec,omitempty"`
 	Config       string         `json:"config,omitempty"`
 	ConfigInline *config.Config `json:"configInline,omitempty"`
 	LoadStats    bool           `json:"loadStats,omitempty"`
@@ -207,16 +222,60 @@ type SimulateResponse struct {
 	Trace string `json:"trace,omitempty"`
 }
 
-// resolveConfig validates a request's workload/config pair. It returns the
-// resolved configuration, a label for metrics and responses, and whether
-// the config was named (vs inline).
+// target is a resolved workload identity: a named Table-IV benchmark or an
+// inline spec. name labels responses and metrics (the benchmark name, or
+// the spec's content-addressed label).
+type target struct {
+	name string
+	spec *workspec.Spec
+}
+
+// resolveTarget validates the workload side of a request.
+func resolveTarget(req *SimulateRequest) (target, error) {
+	switch {
+	case req.Workload == "" && req.Spec == nil:
+		return target{}, errors.New("missing workload: set workload or spec")
+	case req.Workload != "" && req.Spec != nil:
+		return target{}, errors.New("workload and spec are mutually exclusive")
+	case req.Spec != nil:
+		if err := req.Spec.Validate(); err != nil {
+			return target{}, err
+		}
+		return target{name: req.Spec.Label(), spec: req.Spec}, nil
+	default:
+		if _, ok := workloads.ByName(req.Workload); !ok {
+			return target{}, fmt.Errorf("unknown workload %q", req.Workload)
+		}
+		return target{name: req.Workload}, nil
+	}
+}
+
+// storeKeyFor returns the persistent-store key of a target's run.
+func (s *Server) storeKeyFor(t target, cfg config.Config, loadStats bool) string {
+	if t.spec != nil {
+		return s.runner.SpecStoreKey(t.spec, cfg, loadStats)
+	}
+	return s.runner.StoreKey(t.name, cfg, loadStats)
+}
+
+// runTarget dispatches a run to the named-workload or spec path.
+func (s *Server) runTarget(ctx context.Context, t target, cfgName string, cfg config.Config, named, loadStats bool, o harness.RunOpts) (gpu.Result, error) {
+	switch {
+	case t.spec != nil && named:
+		return s.runner.RunSpec(ctx, t.spec, cfgName, loadStats, o)
+	case t.spec != nil:
+		return s.runner.RunSpecConfig(ctx, t.spec, cfg, loadStats, o)
+	case named:
+		return s.runner.RunNamed(ctx, t.name, cfgName, loadStats, o)
+	default:
+		return s.runner.RunConfigOpts(ctx, t.name, cfg, loadStats, o)
+	}
+}
+
+// resolveConfig validates a request's config side. It returns the resolved
+// configuration, a label for metrics and responses, and whether the config
+// was named (vs inline).
 func resolveConfig(req *SimulateRequest) (cfg config.Config, label string, named bool, err error) {
-	if req.Workload == "" {
-		return cfg, "", false, errors.New("missing workload")
-	}
-	if _, ok := workloads.ByName(req.Workload); !ok {
-		return cfg, "", false, fmt.Errorf("unknown workload %q", req.Workload)
-	}
 	if req.Config != "" && req.ConfigInline != nil {
 		return cfg, "", false, errors.New("config and configInline are mutually exclusive")
 	}
@@ -267,30 +326,29 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
+	tgt, err := resolveTarget(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	cfg, label, named, err := resolveConfig(&req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if req.Trace {
-		s.handleTracedSimulate(w, r, &req, cfg, label)
+		s.handleTracedSimulate(w, r, &req, tgt, cfg, label)
 		return
 	}
 
-	key := s.runner.StoreKey(req.Workload, cfg, req.LoadStats)
-	cached := s.cachedBefore(req.Workload, cfg, label, named, req.LoadStats, key)
+	key := s.storeKeyFor(tgt, cfg, req.LoadStats)
+	cached := s.cachedBefore(tgt, cfg, label, named, req.LoadStats, key)
 
 	ctx, cancel := s.simCtx(r)
 	defer cancel()
 	s.metrics.simStart()
 	t0 := time.Now()
-	var res gpu.Result
-	o := harness.RunOpts{SMJobs: req.SMJobs}
-	if named {
-		res, err = s.runner.RunNamed(ctx, req.Workload, label, req.LoadStats, o)
-	} else {
-		res, err = s.runner.RunConfigOpts(ctx, req.Workload, cfg, req.LoadStats, o)
-	}
+	res, err := s.runTarget(ctx, tgt, label, cfg, named, req.LoadStats, harness.RunOpts{SMJobs: req.SMJobs})
 	wall := time.Since(t0)
 	s.metrics.simEnd(label, wall.Seconds())
 	if err != nil {
@@ -298,7 +356,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, SimulateResponse{
-		Workload: req.Workload,
+		Workload: tgt.name,
 		Config:   label,
 		Key:      key,
 		Cached:   cached,
@@ -332,7 +390,7 @@ func (s *Server) newTraceID(app, label string) string {
 // attached, streaming the Chrome-trace artifact to TraceDir. Traced runs
 // always execute (the Runner bypasses its caches for them) and never write
 // the result store, so Key is empty and Cached false in the response.
-func (s *Server) handleTracedSimulate(w http.ResponseWriter, r *http.Request, req *SimulateRequest, cfg config.Config, label string) {
+func (s *Server) handleTracedSimulate(w http.ResponseWriter, r *http.Request, req *SimulateRequest, tgt target, cfg config.Config, label string) {
 	if s.traceDir == "" {
 		writeError(w, http.StatusBadRequest, "tracing is disabled: daemon started without a trace directory")
 		return
@@ -341,7 +399,7 @@ func (s *Server) handleTracedSimulate(w http.ResponseWriter, r *http.Request, re
 		writeError(w, http.StatusInternalServerError, "trace directory: %v", err)
 		return
 	}
-	id := s.newTraceID(req.Workload, label)
+	id := s.newTraceID(tgt.name, label)
 	path := filepath.Join(s.traceDir, id)
 	f, err := os.Create(path)
 	if err != nil {
@@ -358,7 +416,13 @@ func (s *Server) handleTracedSimulate(w http.ResponseWriter, r *http.Request, re
 	defer cancel()
 	s.metrics.simStart()
 	t0 := time.Now()
-	res, err := s.runner.RunTracedOpts(ctx, req.Workload, cfg, req.LoadStats, tr, harness.RunOpts{SMJobs: req.SMJobs})
+	var res gpu.Result
+	o := harness.RunOpts{SMJobs: req.SMJobs}
+	if tgt.spec != nil {
+		res, err = s.runner.RunSpecTraced(ctx, tgt.spec, cfg, req.LoadStats, tr, o)
+	} else {
+		res, err = s.runner.RunTracedOpts(ctx, tgt.name, cfg, req.LoadStats, tr, o)
+	}
 	wall := time.Since(t0)
 	s.metrics.simEnd(label, wall.Seconds())
 	cerr := tr.Close()
@@ -377,7 +441,7 @@ func (s *Server) handleTracedSimulate(w http.ResponseWriter, r *http.Request, re
 	s.traces[id] = path
 	s.traceMu.Unlock()
 	writeJSON(w, http.StatusOK, SimulateResponse{
-		Workload: req.Workload,
+		Workload: tgt.name,
 		Config:   label,
 		WallMS:   wall.Milliseconds(),
 		Version:  version.Stamp(),
@@ -402,24 +466,38 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 
 // cachedBefore reports whether the result was already available (in-memory
 // memo or persistent store) before the request ran.
-func (s *Server) cachedBefore(app string, cfg config.Config, label string, named, loadStats bool, key string) bool {
-	if named {
-		if s.runner.Memoised(app, label, loadStats) {
+func (s *Server) cachedBefore(t target, cfg config.Config, label string, named, loadStats bool, key string) bool {
+	switch {
+	case t.spec != nil && named:
+		if s.runner.MemoisedSpec(t.spec, label, loadStats) {
 			return true
 		}
-	} else if s.runner.MemoisedConfig(app, cfg, loadStats) {
-		return true
+	case t.spec != nil:
+		if s.runner.MemoisedSpecConfig(t.spec, cfg, loadStats) {
+			return true
+		}
+	case named:
+		if s.runner.Memoised(t.name, label, loadStats) {
+			return true
+		}
+	default:
+		if s.runner.MemoisedConfig(t.name, cfg, loadStats) {
+			return true
+		}
 	}
 	return key != "" && s.runner.Store.Contains(key)
 }
 
 // SweepRequest is the POST /v1/sweep body: the full cross product of
-// Workloads x Configs is simulated (cells fan out across the Runner's
-// worker pool and deduplicate against everything else in flight).
+// (Workloads + Specs) x Configs is simulated (cells fan out across the
+// Runner's worker pool and deduplicate against everything else in flight).
 type SweepRequest struct {
-	Workloads []string `json:"workloads"`
-	Configs   []string `json:"configs"`
-	LoadStats bool     `json:"loadStats,omitempty"`
+	Workloads []string `json:"workloads,omitempty"`
+	// Specs adds inline declarative workloads to the sweep, each keyed by
+	// its canonical content digest like in /v1/simulate.
+	Specs     []*workspec.Spec `json:"specs,omitempty"`
+	Configs   []string         `json:"configs"`
+	LoadStats bool             `json:"loadStats,omitempty"`
 	// SMJobs applies per-SM parallelism to every cell of the sweep (see
 	// SimulateRequest.SMJobs).
 	SMJobs int `json:"sm_jobs,omitempty"`
@@ -451,8 +529,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	if len(req.Workloads) == 0 || len(req.Configs) == 0 {
-		writeError(w, http.StatusBadRequest, "workloads and configs must both be non-empty")
+	if len(req.Workloads)+len(req.Specs) == 0 || len(req.Configs) == 0 {
+		writeError(w, http.StatusBadRequest, "workloads/specs and configs must both be non-empty")
 		return
 	}
 	if req.SMJobs < 0 {
@@ -461,11 +539,24 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	// Validate the whole matrix up front so a typo fails fast with 400
 	// instead of surfacing mid-sweep.
+	var targets []target
 	for _, app := range req.Workloads {
 		if _, ok := workloads.ByName(app); !ok {
 			writeError(w, http.StatusBadRequest, "unknown workload %q", app)
 			return
 		}
+		targets = append(targets, target{name: app})
+	}
+	for i, sp := range req.Specs {
+		if sp == nil {
+			writeError(w, http.StatusBadRequest, "specs[%d] is null", i)
+			return
+		}
+		if err := sp.Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, "specs[%d]: %v", i, err)
+			return
+		}
+		targets = append(targets, target{name: sp.Label(), spec: sp})
 	}
 	for _, name := range req.Configs {
 		if _, err := harness.NamedConfig(name); err != nil {
@@ -476,11 +567,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := s.simCtx(r)
 	defer cancel()
-	type cellIn struct{ app, cfgName string }
+	type cellIn struct {
+		tgt     target
+		cfgName string
+	}
 	var ins []cellIn
-	for _, app := range req.Workloads {
+	for _, tgt := range targets {
 		for _, cfgName := range req.Configs {
-			ins = append(ins, cellIn{app, cfgName})
+			ins = append(ins, cellIn{tgt, cfgName})
 		}
 	}
 	cells := make([]SweepCell, len(ins))
@@ -490,16 +584,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		go func(i int, in cellIn) {
 			defer wg.Done()
 			cfg, _ := harness.NamedConfig(in.cfgName)
-			key := s.runner.StoreKey(in.app, cfg, req.LoadStats)
+			key := s.storeKeyFor(in.tgt, cfg, req.LoadStats)
 			cell := SweepCell{
-				Workload: in.app,
+				Workload: in.tgt.name,
 				Config:   in.cfgName,
 				Key:      key,
-				Cached:   s.cachedBefore(in.app, cfg, in.cfgName, true, req.LoadStats, key),
+				Cached:   s.cachedBefore(in.tgt, cfg, in.cfgName, true, req.LoadStats, key),
 			}
 			s.metrics.simStart()
 			t0 := time.Now()
-			res, err := s.runner.RunNamed(ctx, in.app, in.cfgName, req.LoadStats, harness.RunOpts{SMJobs: req.SMJobs})
+			res, err := s.runTarget(ctx, in.tgt, in.cfgName, cfg, true, req.LoadStats, harness.RunOpts{SMJobs: req.SMJobs})
 			wall := time.Since(t0)
 			s.metrics.simEnd(in.cfgName, wall.Seconds())
 			cell.WallMS = wall.Milliseconds()

@@ -1,0 +1,135 @@
+// Spec -> kernel compilation. A compiled spec is an ordinary
+// workloads.Workload: kernels[0] becomes the Program body, later kernels
+// become Tail phases (the multi-kernel sequence), and trace kernels become
+// table-backed load instructions (trace.go). The compilation is exact —
+// every PatternSpec field maps 1:1 onto kernel.Pattern — which is what
+// lets examples/specs pin the 15 paper workloads bit-identical.
+package workspec
+
+import (
+	"fmt"
+
+	"apres/internal/arch"
+	"apres/internal/kernel"
+	"apres/internal/workloads"
+)
+
+// categoryNames maps spec category strings to workloads categories.
+var categoryNames = []string{"cache-sensitive", "cache-insensitive", "compute-intensive"}
+
+// ParseCategory maps a spec category string onto workloads.Category; the
+// empty string defaults to compute-intensive (category only affects
+// harness groupings, never the simulation itself).
+func ParseCategory(s string) (workloads.Category, error) {
+	switch s {
+	case "cache-sensitive":
+		return workloads.CacheSensitive, nil
+	case "cache-insensitive":
+		return workloads.CacheInsensitive, nil
+	case "", "compute-intensive":
+		return workloads.ComputeIntensive, nil
+	default:
+		return 0, fmt.Errorf("unknown category %q (want %s)", s, quoteList(categoryNames))
+	}
+}
+
+// Compile lowers the spec to a runnable workload. The spec must already be
+// valid (Parse validates; hand-built specs should call Validate first) —
+// Compile still re-checks the compiled program as a backstop.
+func (s *Spec) Compile() (workloads.Workload, error) {
+	if err := s.Validate(); err != nil {
+		return workloads.Workload{}, err
+	}
+	cat, err := ParseCategory(s.Category)
+	if err != nil {
+		return workloads.Workload{}, fmt.Errorf("workspec: category: %w", err)
+	}
+	kern := kernel.Kernel{
+		Name:             s.Name,
+		WarpsPerSM:       s.Kernels[0].WarpsPerSM,
+		LaunchWarpsPerSM: s.Kernels[0].LaunchWarpsPerSM,
+	}
+	for i := range s.Kernels {
+		body, iters, err := s.Kernels[i].compile()
+		if err != nil {
+			return workloads.Workload{}, fmt.Errorf("workspec: kernels[%d]: %w", i, err)
+		}
+		if i == 0 {
+			kern.Program.Body, kern.Program.Iterations = body, iters
+		} else {
+			kern.Program.Tail = append(kern.Program.Tail, kernel.Phase{Body: body, Iterations: iters})
+		}
+	}
+	if err := kern.Program.Validate(); err != nil {
+		return workloads.Workload{}, fmt.Errorf("workspec: compiled program invalid: %w", err)
+	}
+	return workloads.Workload{Kernel: kern, Category: cat, Description: s.Description}, nil
+}
+
+// compile lowers one kernel of the sequence to a phase body.
+func (k *KernelSpec) compile() ([]kernel.Inst, int, error) {
+	if k.Trace != nil {
+		return k.Trace.compile()
+	}
+	body := make([]kernel.Inst, len(k.Body))
+	for i := range k.Body {
+		in, err := k.Body[i].compile()
+		if err != nil {
+			return nil, 0, fmt.Errorf("body[%d]: %w", i, err)
+		}
+		body[i] = in
+	}
+	return body, k.Iterations, nil
+}
+
+func (in *InstSpec) compile() (kernel.Inst, error) {
+	op, err := parseOp(in.Op)
+	if err != nil {
+		return kernel.Inst{}, err
+	}
+	out := kernel.Inst{
+		Op:           op,
+		PC:           arch.PC(in.PC),
+		Repeat:       in.Repeat,
+		RepeatJitter: in.RepeatJitter,
+		DependsOnMem: in.DependsOnMem,
+	}
+	if in.Pattern != nil {
+		out.Pattern = in.Pattern.compile()
+	}
+	return out, nil
+}
+
+var opNames = []string{"alu", "load", "store", "shared"}
+
+func parseOp(s string) (kernel.Op, error) {
+	switch s {
+	case "alu":
+		return kernel.OpALU, nil
+	case "load":
+		return kernel.OpLoad, nil
+	case "store":
+		return kernel.OpStore, nil
+	case "shared":
+		return kernel.OpShared, nil
+	default:
+		return 0, fmt.Errorf("unknown opcode %q (want %s)", s, quoteList(opNames))
+	}
+}
+
+// compile maps the spec pattern 1:1 onto the kernel address generator.
+func (p *PatternSpec) compile() kernel.Pattern {
+	return kernel.Pattern{
+		Base:          arch.Addr(p.Base),
+		SMStride:      p.SMStride,
+		WarpStride:    p.WarpStride,
+		IterStride:    p.IterStride,
+		IterWrapBytes: p.IterWrapBytes,
+		LaneStride:    p.LaneStride,
+		WrapBytes:     p.WrapBytes,
+		WarpShare:     p.WarpShare,
+		Random:        p.Random,
+		LaneRandom:    p.LaneRandom,
+		Seed:          p.Seed,
+	}
+}

@@ -1,0 +1,55 @@
+package workspec
+
+import (
+	"testing"
+
+	"apres/internal/workloads"
+)
+
+// FuzzParseSpec pins the parser's safety contract: Parse never panics, and
+// anything it accepts must validate, compile to a valid kernel program, and
+// canonicalise to a stable fixed point.
+func FuzzParseSpec(f *testing.F) {
+	// Seed with every paper workload's spec form, a trace spec, and a few
+	// near-miss corruptions.
+	for _, w := range workloads.All() {
+		if s, err := FromWorkload(w); err == nil {
+			f.Add(s.Encode())
+		}
+	}
+	f.Add(SpecFromTrace("t", []TraceRecord{
+		{Order: 0, Warp: 0, PC: 0x100, Addr: 0x1000, Size: 128},
+		{Order: 1, Warp: 1, PC: 0x100, Addr: 0x2000, Size: 64},
+	}).Encode())
+	f.Add([]byte(`{"specVersion":1,"name":"x","kernels":[{"iterations":1,"body":[{"op":"alu"}]}]}`))
+	f.Add([]byte(`{"specVersion":1,"name":"x","kernels":[]}`))
+	f.Add([]byte(`{"specVersion":1`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// Accepted specs are valid by construction.
+		if err := s.Validate(); err != nil {
+			t.Fatalf("Parse accepted a spec Validate rejects: %v", err)
+		}
+		w, err := s.Compile()
+		if err != nil {
+			t.Fatalf("valid spec fails to compile: %v", err)
+		}
+		if err := w.Kernel.Program.Validate(); err != nil {
+			t.Fatalf("compiled program invalid: %v", err)
+		}
+		// Canonical form is a stable fixed point.
+		again, err := Parse(s.Canonical())
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %v", err)
+		}
+		if again.Digest() != s.Digest() {
+			t.Fatalf("digest unstable: %s vs %s", again.Digest(), s.Digest())
+		}
+	})
+}

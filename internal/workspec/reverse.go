@@ -1,0 +1,83 @@
+// Workload -> spec decompilation, the inverse of Compile. FromWorkload is
+// exact for synthetic kernels: Compile(FromWorkload(w)) reproduces w
+// field-for-field, which is how the 15 checked-in example specs were
+// generated and what the round-trip property test pins.
+package workspec
+
+import (
+	"fmt"
+
+	"apres/internal/kernel"
+	"apres/internal/workloads"
+)
+
+// FromWorkload decompiles a synthetic workload into an equivalent spec.
+// Table-backed (trace-replay) kernels cannot be decompiled — the recorded
+// table has no spec-side synthetic representation — and return an error.
+func FromWorkload(w workloads.Workload) (*Spec, error) {
+	s := &Spec{
+		SpecVersion: Version,
+		Name:        w.Kernel.Name,
+		Category:    w.Category.String(),
+		Description: w.Description,
+	}
+	for ph := 0; ph < w.Kernel.Program.NumPhases(); ph++ {
+		body, iters := w.Kernel.Program.PhaseAt(ph)
+		ks := KernelSpec{Iterations: iters}
+		if ph == 0 {
+			ks.WarpsPerSM = w.Kernel.WarpsPerSM
+			ks.LaunchWarpsPerSM = w.Kernel.LaunchWarpsPerSM
+		}
+		for i := range body {
+			in, err := reverseInst(&body[i])
+			if err != nil {
+				return nil, fmt.Errorf("workspec: phase %d body[%d]: %w", ph, i, err)
+			}
+			ks.Body = append(ks.Body, in)
+		}
+		s.Kernels = append(s.Kernels, ks)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("workspec: decompiled spec invalid: %w", err)
+	}
+	return s, nil
+}
+
+func reverseInst(in *kernel.Inst) (InstSpec, error) {
+	out := InstSpec{
+		Op:           in.Op.String(),
+		PC:           uint32(in.PC),
+		Repeat:       in.Repeat,
+		RepeatJitter: in.RepeatJitter,
+		DependsOnMem: in.DependsOnMem,
+	}
+	switch in.Op {
+	case kernel.OpLoad, kernel.OpStore:
+		if in.Pattern.Table != nil {
+			return InstSpec{}, fmt.Errorf("table-backed pattern at PC %#x has no synthetic spec form", in.PC)
+		}
+		out.Pattern = reversePattern(in.Pattern)
+	case kernel.OpALU, kernel.OpShared:
+		// No pattern; the zero Pattern a synthetic constructor leaves on
+		// non-memory instructions is never read, so dropping it is exact.
+	default:
+		return InstSpec{}, fmt.Errorf("unknown opcode %v", in.Op)
+	}
+	return out, nil
+}
+
+func reversePattern(p kernel.Pattern) *PatternSpec {
+	return &PatternSpec{
+		Base:          uint64(p.Base),
+		SMStride:      p.SMStride,
+		WarpStride:    p.WarpStride,
+		IterStride:    p.IterStride,
+		IterWrapBytes: p.IterWrapBytes,
+		LaneStride:    p.LaneStride,
+		WrapBytes:     p.WrapBytes,
+		WarpShare:     p.WarpShare,
+		Random:        p.Random,
+		LaneRandom:    p.LaneRandom,
+		Seed:          p.Seed,
+	}
+}

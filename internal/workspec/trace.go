@@ -1,0 +1,282 @@
+// Trace replay: parsing recorded per-warp memory-access traces and
+// compiling them into table-backed kernels (Accel-Sim-style trace-driven
+// simulation, PAPERS.md arXiv:1810.07269). A trace names, per record, the
+// recording cycle order, warp, static PC, lead address and byte span; the
+// compiler rebuilds each static PC's per-warp address sequence as a
+// kernel.AddrTable so the unchanged scheduler/prefetcher paths re-derive
+// all timing while the addresses come verbatim from the recording.
+//
+// On-disk formats (ParseTraceFile dispatches on extension):
+//
+//	*.csv    one record per line: order,warp,pc,addr,size
+//	         ('#' comments, blank lines and a literal header allowed;
+//	         numbers in any Go literal base, so 0x1A0 works)
+//	*.jsonl  one JSON object per line:
+//	         {"order":0,"warp":1,"pc":416,"addr":1048576,"size":128}
+//
+// Fidelity caveats (documented in DESIGN.md): the replayed interleaving is
+// what the simulated scheduler chooses, not the recorded one — Order only
+// sequences each warp's own accesses. Ragged traces are padded by
+// repeating a warp's final access, and logical warps beyond the recorded
+// count wrap onto recorded streams.
+package workspec
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"apres/internal/arch"
+	"apres/internal/kernel"
+)
+
+// defaultTraceSMStride separates per-SM replay copies when the trace is
+// not marked shared (matches the workloads package's smSpan).
+const defaultTraceSMStride = int64(1) << 26
+
+// ParseTraceCSV reads "order,warp,pc,addr,size" records; name prefixes
+// error positions ("name:17: ...").
+func ParseTraceCSV(r io.Reader, name string) ([]TraceRecord, error) {
+	var recs []TraceRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("workspec: %s:%d: want 5 comma-separated fields (order,warp,pc,addr,size), got %d", name, lineNo, len(fields))
+		}
+		for i := range fields {
+			fields[i] = strings.TrimSpace(fields[i])
+		}
+		// Allow one literal header row.
+		if len(recs) == 0 && strings.EqualFold(fields[0], "order") {
+			continue
+		}
+		rec, err := parseCSVRecord(fields)
+		if err != nil {
+			return nil, fmt.Errorf("workspec: %s:%d: %w", name, lineNo, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workspec: %s: %w", name, err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("workspec: %s: trace has no records", name)
+	}
+	return recs, nil
+}
+
+func parseCSVRecord(fields []string) (TraceRecord, error) {
+	order, err := strconv.ParseInt(fields[0], 0, 64)
+	if err != nil {
+		return TraceRecord{}, fmt.Errorf("field order: %v", err)
+	}
+	warp, err := strconv.ParseInt(fields[1], 0, 32)
+	if err != nil {
+		return TraceRecord{}, fmt.Errorf("field warp: %v", err)
+	}
+	pc, err := strconv.ParseUint(fields[2], 0, 32)
+	if err != nil {
+		return TraceRecord{}, fmt.Errorf("field pc: %v", err)
+	}
+	addr, err := strconv.ParseUint(fields[3], 0, 64)
+	if err != nil {
+		return TraceRecord{}, fmt.Errorf("field addr: %v", err)
+	}
+	size, err := strconv.ParseInt(fields[4], 0, 32)
+	if err != nil {
+		return TraceRecord{}, fmt.Errorf("field size: %v", err)
+	}
+	return TraceRecord{Order: order, Warp: int(warp), PC: uint32(pc), Addr: addr, Size: int32(size)}, nil
+}
+
+// ParseTraceJSONL reads one TraceRecord JSON object per line.
+func ParseTraceJSONL(r io.Reader, name string) ([]TraceRecord, error) {
+	var recs []TraceRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 || line[0] == '#' {
+			continue
+		}
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.DisallowUnknownFields()
+		var rec TraceRecord
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("workspec: %s:%d: %v", name, lineNo, err)
+		}
+		if dec.More() {
+			return nil, fmt.Errorf("workspec: %s:%d: trailing data after the record object", name, lineNo)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workspec: %s: %w", name, err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("workspec: %s: trace has no records", name)
+	}
+	return recs, nil
+}
+
+// ParseTraceFile reads a trace by extension: .csv or .jsonl.
+func ParseTraceFile(path string) ([]TraceRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("workspec: %w", err)
+	}
+	defer f.Close()
+	name := filepath.Base(path)
+	switch ext := strings.ToLower(filepath.Ext(path)); ext {
+	case ".csv":
+		return ParseTraceCSV(f, name)
+	case ".jsonl":
+		return ParseTraceJSONL(f, name)
+	default:
+		return nil, fmt.Errorf("workspec: %s: unknown trace extension %q (want .csv or .jsonl)", name, ext)
+	}
+}
+
+// SpecFromTrace wraps recorded records in a single-kernel replay spec, the
+// form apressim -replay submits and apresd hashes. The records are
+// validated by the returned spec's Validate like any other spec.
+func SpecFromTrace(name string, recs []TraceRecord) *Spec {
+	return &Spec{
+		SpecVersion: Version,
+		Name:        name,
+		Description: "trace replay",
+		Kernels: []KernelSpec{{
+			Trace: &TraceSpec{Records: recs},
+		}},
+	}
+}
+
+// compile lowers a recorded trace to a table-backed phase body: one load
+// instruction per static PC (first-appearance order), each backed by an
+// AddrTable holding that PC's per-warp address sequence, followed by a
+// dependent ALU instruction so replayed loads are consumed like real ones.
+// The phase iterates once per recorded per-(pc,warp) access; warps with
+// shorter recordings repeat their final access (warm padding).
+func (t *TraceSpec) compile() ([]kernel.Inst, int, error) {
+	// Stable-sort by Order so each warp's accesses replay in recorded
+	// sequence; ties keep input order.
+	recs := make([]TraceRecord, len(t.Records))
+	copy(recs, t.Records)
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Order < recs[j].Order })
+
+	// Group by static PC in first-appearance order, tracking the warp
+	// extent across the whole trace (all tables share it so logical warp
+	// IDs mean the same thing at every PC).
+	var pcs []uint32
+	byPC := map[uint32][]TraceRecord{}
+	maxWarp := 0
+	for _, r := range recs {
+		if _, ok := byPC[r.PC]; !ok {
+			pcs = append(pcs, r.PC)
+		}
+		byPC[r.PC] = append(byPC[r.PC], r)
+		if r.Warp > maxWarp {
+			maxWarp = r.Warp
+		}
+	}
+	warps := maxWarp + 1
+
+	smStride := t.SMStrideBytes
+	if smStride == 0 && !t.Shared {
+		smStride = defaultTraceSMStride
+	}
+
+	var body []kernel.Inst
+	for _, pc := range pcs {
+		tbl, err := buildTable(byPC[pc], warps)
+		if err != nil {
+			return nil, 0, fmt.Errorf("trace pc %#x: %w", pc, err)
+		}
+		body = append(body,
+			kernel.Inst{
+				Op:      kernel.OpLoad,
+				PC:      arch.PC(pc),
+				Pattern: kernel.Pattern{SMStride: smStride, Table: tbl},
+			},
+			kernel.Inst{Op: kernel.OpALU, DependsOnMem: true},
+		)
+	}
+	// The longest per-(pc,warp) recording defines the iteration count.
+	iters := 1
+	for _, pc := range pcs {
+		for _, n := range perWarpCounts(byPC[pc], warps) {
+			if n > iters {
+				iters = n
+			}
+		}
+	}
+	return body, iters, nil
+}
+
+func perWarpCounts(recs []TraceRecord, warps int) []int {
+	counts := make([]int, warps)
+	for _, r := range recs {
+		counts[r.Warp]++
+	}
+	return counts
+}
+
+// buildTable lays one PC's records out as a dense [warp][iter] table.
+// Warps recorded short of the longest repeat their final access; warps
+// with no recording at this PC replay the PC's first record (a warm line,
+// never a novel address).
+func buildTable(recs []TraceRecord, warps int) (*kernel.AddrTable, error) {
+	counts := perWarpCounts(recs, warps)
+	iters := 1
+	for _, n := range counts {
+		if n > iters {
+			iters = n
+		}
+	}
+	tbl := &kernel.AddrTable{
+		Warps: warps,
+		Iters: iters,
+		Addrs: make([]arch.Addr, warps*iters),
+		Sizes: make([]int32, warps*iters),
+	}
+	fill := make([]int, warps)
+	for _, r := range recs {
+		i := r.Warp*iters + fill[r.Warp]
+		tbl.Addrs[i] = arch.Addr(r.Addr)
+		tbl.Sizes[i] = r.Size
+		fill[r.Warp]++
+	}
+	for w := 0; w < warps; w++ {
+		n := fill[w]
+		if n == 0 {
+			// Unrecorded warp: replay the PC's first record.
+			first := w*iters + 0
+			tbl.Addrs[first] = arch.Addr(recs[0].Addr)
+			tbl.Sizes[first] = recs[0].Size
+			n = 1
+		}
+		last := w*iters + n - 1
+		for i := w*iters + n; i < (w+1)*iters; i++ {
+			tbl.Addrs[i] = tbl.Addrs[last]
+			tbl.Sizes[i] = tbl.Sizes[last]
+		}
+	}
+	return tbl, nil
+}

@@ -1,0 +1,207 @@
+package workspec
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"apres/internal/arch"
+	"apres/internal/kernel"
+)
+
+const sampleCSV = `# recorded gather, two static loads
+order,warp,pc,addr,size
+0,0,0x100,0x1000,128
+1,1,0x100,0x2000,128
+2,0,0x200,0x8000,256
+3,1,0x200,0x9000,256
+4,0,0x100,0x1080,128
+`
+
+func TestParseTraceCSV(t *testing.T) {
+	recs, err := ParseTraceCSV(strings.NewReader(sampleCSV), "sample.csv")
+	if err != nil {
+		t.Fatalf("ParseTraceCSV: %v", err)
+	}
+	want := []TraceRecord{
+		{Order: 0, Warp: 0, PC: 0x100, Addr: 0x1000, Size: 128},
+		{Order: 1, Warp: 1, PC: 0x100, Addr: 0x2000, Size: 128},
+		{Order: 2, Warp: 0, PC: 0x200, Addr: 0x8000, Size: 256},
+		{Order: 3, Warp: 1, PC: 0x200, Addr: 0x9000, Size: 256},
+		{Order: 4, Warp: 0, PC: 0x100, Addr: 0x1080, Size: 128},
+	}
+	if !reflect.DeepEqual(recs, want) {
+		t.Fatalf("records mismatch:\n got %+v\nwant %+v", recs, want)
+	}
+}
+
+func TestParseTraceCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want []string
+	}{
+		{"field count", "0,1,0x100,0x1000\n", []string{"bad.csv:1", "5"}},
+		{"bad number", "0,1,0x100,0x1000,128\n1,one,0x100,0x1000,128\n", []string{"bad.csv:2", "warp"}},
+		{"empty", "# only comments\n", []string{"no records"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseTraceCSV(strings.NewReader(tc.in), "bad.csv")
+			if err == nil {
+				t.Fatal("accepted bad trace")
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error %q missing %q", err, want)
+				}
+			}
+		})
+	}
+}
+
+func TestParseTraceJSONL(t *testing.T) {
+	in := `{"order":0,"warp":0,"pc":256,"addr":4096,"size":128}
+# comment
+{"order":1,"warp":1,"pc":256,"addr":8192,"size":128}
+`
+	recs, err := ParseTraceJSONL(strings.NewReader(in), "t.jsonl")
+	if err != nil {
+		t.Fatalf("ParseTraceJSONL: %v", err)
+	}
+	if len(recs) != 2 || recs[1].Addr != 8192 {
+		t.Fatalf("bad records %+v", recs)
+	}
+	if _, err := ParseTraceJSONL(strings.NewReader(`{"order":0,"oops":1}`), "t.jsonl"); err == nil ||
+		!strings.Contains(err.Error(), "t.jsonl:1") {
+		t.Errorf("unknown field not rejected with position, got %v", err)
+	}
+}
+
+// TestTraceCompile pins the table layout a recorded trace compiles to:
+// one load per static PC in first-appearance order, per-warp sequences in
+// Order, ragged warps padded with their final access.
+func TestTraceCompile(t *testing.T) {
+	recs, err := ParseTraceCSV(strings.NewReader(sampleCSV), "sample.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := SpecFromTrace("gather", recs)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("SpecFromTrace invalid: %v", err)
+	}
+	w, err := s.Compile()
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	prog := w.Kernel.Program
+	// Two PCs -> two (load, dependent alu) pairs.
+	if len(prog.Body) != 4 {
+		t.Fatalf("want 4 body insts, got %d", len(prog.Body))
+	}
+	if prog.Body[0].PC != 0x100 || prog.Body[2].PC != 0x200 {
+		t.Fatalf("PC order wrong: %#x, %#x", prog.Body[0].PC, prog.Body[2].PC)
+	}
+	if prog.Body[1].Op != kernel.OpALU || !prog.Body[1].DependsOnMem {
+		t.Fatal("loads must be followed by a dependent ALU inst")
+	}
+	// Warp 0 recorded 0x100 twice -> iterations = 2.
+	if prog.Iterations != 2 {
+		t.Fatalf("want 2 iterations, got %d", prog.Iterations)
+	}
+	tbl := prog.Body[0].Pattern.Table
+	if tbl == nil || tbl.Warps != 2 || tbl.Iters != 2 {
+		t.Fatalf("bad table extent %+v", tbl)
+	}
+	// Warp 0 iter 0/1 follow the recording; warp 1 pads with its final.
+	check := func(warp arch.WarpID, iter int, addr uint64, size int32) {
+		t.Helper()
+		a, sz := tbl.At(warp, iter)
+		if a != arch.Addr(addr) || sz != size {
+			t.Errorf("At(%d,%d) = %#x/%d, want %#x/%d", warp, iter, a, sz, addr, size)
+		}
+	}
+	check(0, 0, 0x1000, 128)
+	check(0, 1, 0x1080, 128)
+	check(1, 0, 0x2000, 128)
+	check(1, 1, 0x2000, 128) // padded with warp 1's final access
+	// Per-SM copies offset by the default stride; shared traces do not.
+	if prog.Body[0].Pattern.SMStride != defaultTraceSMStride {
+		t.Errorf("want default SM stride, got %d", prog.Body[0].Pattern.SMStride)
+	}
+	shared := SpecFromTrace("gather", recs)
+	shared.Kernels[0].Trace.Shared = true
+	ws, err := shared.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Kernel.Program.Body[0].Pattern.SMStride != 0 {
+		t.Error("shared trace must not stride across SMs")
+	}
+	// The compiled program passes kernel validation end to end.
+	if err := prog.Validate(); err != nil {
+		t.Fatalf("compiled trace program invalid: %v", err)
+	}
+}
+
+// TestTraceCompileOrderAndGaps pins Order-based sorting and the
+// fill-in for warps a PC never recorded.
+func TestTraceCompileOrderAndGaps(t *testing.T) {
+	recs := []TraceRecord{
+		{Order: 5, Warp: 0, PC: 0x10, Addr: 0x300, Size: 128}, // later by order
+		{Order: 1, Warp: 0, PC: 0x10, Addr: 0x100, Size: 128},
+		{Order: 2, Warp: 2, PC: 0x20, Addr: 0x900, Size: 64}, // warp 2 only at 0x20
+	}
+	s := SpecFromTrace("gaps", recs)
+	w, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := w.Kernel.Program.Body[0].Pattern.Table // PC 0x10
+	if tbl.Warps != 3 {
+		t.Fatalf("warp extent must span the whole trace, got %d", tbl.Warps)
+	}
+	if a, _ := tbl.At(0, 0); a != 0x100 {
+		t.Errorf("order sort broken: At(0,0) = %#x, want 0x100", a)
+	}
+	if a, _ := tbl.At(0, 1); a != 0x300 {
+		t.Errorf("order sort broken: At(0,1) = %#x, want 0x300", a)
+	}
+	// Warp 2 never touched PC 0x10: it replays the PC's first record.
+	if a, _ := tbl.At(2, 0); a != 0x100 {
+		t.Errorf("unrecorded warp fill: At(2,0) = %#x, want 0x100", a)
+	}
+	tbl20 := w.Kernel.Program.Body[2].Pattern.Table // PC 0x20
+	if a, sz := tbl20.At(2, 0); a != 0x900 || sz != 64 {
+		t.Errorf("At(2,0) = %#x/%d, want 0x900/64", a, sz)
+	}
+}
+
+// TestTraceReplayRunsThroughKernelWalker drives a compiled trace through
+// the ordinary kernel walker the way core.SM does, proving the replay
+// path needs no scheduler-side changes.
+func TestTraceReplayRunsThroughKernelWalker(t *testing.T) {
+	recs, err := ParseTraceCSV(strings.NewReader(sampleCSV), "sample.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := SpecFromTrace("gather", recs).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	walker := kernel.NewWalker(&w.Kernel.Program, 0)
+	var addrs []arch.Addr
+	lanes := make([]arch.Addr, arch.WarpSize)
+	for !walker.Done() {
+		in := walker.Peek()
+		if in.Op == kernel.OpLoad {
+			in.Pattern.LaneAddrs(lanes, 0, 0, walker.Iter())
+			addrs = append(addrs, lanes[0])
+		}
+		walker.Advance()
+	}
+	want := []arch.Addr{0x1000, 0x8000, 0x1080, 0x8000}
+	if !reflect.DeepEqual(addrs, want) {
+		t.Fatalf("replayed lead addrs %v, want %v", addrs, want)
+	}
+}
