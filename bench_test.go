@@ -12,12 +12,14 @@ package apres_test
 // runs the same experiments at full scale.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
 	"apres/internal/config"
 	"apres/internal/gpu"
 	"apres/internal/harness"
+	"apres/internal/twin"
 	"apres/internal/workloads"
 )
 
@@ -351,6 +353,49 @@ func TestSimulatorAllocBudget(t *testing.T) {
 		if allocs > budget {
 			t.Errorf("%s: %.0f allocs/run, budget %.0f", app, allocs, budget)
 		}
+	}
+}
+
+// BenchmarkTwinThroughput measures the analytical twin's steady-state query
+// latency on the same workloads and scale as BenchmarkSimulatorThroughput —
+// the ratio of the two is the fast path's serving win (BENCH_twin.json
+// records the headline numbers next to the calibration's measured MAPE).
+// The predict legs time Model.Predict alone; the engine legs go through the
+// harness engine selector (twinServe + gpu.Result synthesis), which is what
+// apresd's serving path pays per twin-served request.
+func BenchmarkTwinThroughput(b *testing.B) {
+	model := twin.New()
+	for _, app := range []string{"SP", "BFS"} {
+		w, ok := workloads.ByName(app)
+		if !ok {
+			b.Fatalf("unknown workload %s", app)
+		}
+		w.Kernel = w.Kernel.Scaled(benchScale)
+		cfg := config.APRES()
+		b.Run(app+"/predict", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := model.Predict(app, w, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+		})
+		b.Run(app+"/engine", func(b *testing.B) {
+			b.ReportAllocs()
+			r := harness.NewRunner(benchScale, benchSMs)
+			req := harness.EngineReq{Engine: harness.EngineTwin}
+			for i := 0; i < b.N; i++ {
+				out, err := r.RunEngineNamed(context.Background(), app, "apres", false, req, harness.RunOpts{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if out.Engine != harness.EngineTwin {
+					b.Fatalf("served by %q, want the twin", out.Engine)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+		})
 	}
 }
 

@@ -59,13 +59,22 @@ func main() {
 		drain    = flag.Duration("drain", 30*time.Second, "how long SIGTERM waits for in-flight requests")
 		traceDir = flag.String("tracedir", filepath.Join(os.TempDir(), "apres-traces"),
 			"directory for trace artifacts from traced /v1/simulate requests (empty = disable tracing)")
-		showVer = flag.Bool("version", false, "print the simulator version stamp and exit")
+		engine    = flag.String("engine", "", "default serving engine for requests that do not pick one: cycle-accurate (default) | twin | auto")
+		tolerance = flag.Float64("tolerance", 0, "default auto-engine escalation threshold on the relative IPC error bound (0 = calibration default)")
+		showVer   = flag.Bool("version", false, "print the simulator version stamp and exit")
 	)
 	flag.Parse()
 
 	if *showVer {
 		fmt.Println(version.Stamp())
 		return
+	}
+
+	if _, err := harness.ParseEngine(*engine); err != nil {
+		log.Fatalf("apresd: %v", err)
+	}
+	if *tolerance < 0 {
+		log.Fatalf("apresd: -tolerance must be >= 0, got %g", *tolerance)
 	}
 
 	r := harness.NewRunner(*scale, *sms)
@@ -82,7 +91,13 @@ func main() {
 		log.Printf("apresd: running without a persistent result store")
 	}
 
-	srv := server.New(server.Options{Runner: r, SimTimeout: *timeout, TraceDir: *traceDir})
+	srv := server.New(server.Options{
+		Runner:           r,
+		SimTimeout:       *timeout,
+		TraceDir:         *traceDir,
+		DefaultEngine:    *engine,
+		DefaultTolerance: *tolerance,
+	})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 

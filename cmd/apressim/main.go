@@ -50,6 +50,7 @@ import (
 	"apres/internal/resultstore"
 	"apres/internal/server"
 	"apres/internal/trace"
+	"apres/internal/twin"
 	"apres/internal/version"
 	"apres/internal/workloads"
 	"apres/internal/workspec"
@@ -77,6 +78,8 @@ func main() {
 		memProf   = flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
 		tracePath = flag.String("trace", "", "write a Chrome-trace/Perfetto JSON of the run to this file (single workload, local runs only)")
 		traceIv   = flag.Int64("trace-interval", 1000, "interval-sampler window in cycles for -trace")
+		engineF   = flag.String("engine", "", "serving engine: cycle-accurate (default) | twin (analytical model, microseconds) | auto (twin with cycle-accurate fallback)")
+		tolF      = flag.Float64("tolerance", 0, "auto-engine escalation threshold on the relative IPC error bound (0 = calibration default)")
 		showVer   = flag.Bool("version", false, "print the simulator version stamp and exit")
 	)
 	flag.Parse()
@@ -158,6 +161,20 @@ func main() {
 		os.Exit(1)
 	}
 
+	eng, err := harness.ParseEngine(*engineF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *tolF < 0 {
+		fmt.Fprintf(os.Stderr, "-tolerance must be >= 0, got %g\n", *tolF)
+		os.Exit(1)
+	}
+	if eng == harness.EngineTwin && (*tracePath != "" || *loadstats) {
+		fmt.Fprintln(os.Stderr, "-engine twin cannot serve -trace or -loadstats: they need a real execution (use cycle-accurate or auto)")
+		os.Exit(1)
+	}
+
 	// A traced run executes exactly once with the tracer attached, so it
 	// only makes sense for a single local workload.
 	var tracer *trace.Tracer
@@ -196,10 +213,13 @@ func main() {
 	}
 
 	type outcome struct {
-		res     gpu.Result
-		elapsed time.Duration
-		cached  bool
-		err     error
+		res       gpu.Result
+		elapsed   time.Duration
+		cached    bool
+		engine    string
+		escalated bool
+		bound     twin.Bounds
+		err       error
 	}
 	outs := make([]outcome, len(wls))
 	start := time.Now()
@@ -210,25 +230,35 @@ func main() {
 			defer wg.Done()
 			t0 := time.Now()
 			if *serverURL != "" {
-				res, cached, err := remoteSimulate(*serverURL, w.Name(), spec, cfg, *loadstats, *smJobs)
-				outs[i] = outcome{res: res, elapsed: time.Since(t0), cached: cached, err: err}
+				resp, err := remoteSimulate(*serverURL, w.Name(), spec, cfg, *loadstats, *smJobs, *engineF, *tolF)
+				outs[i] = outcome{res: resp.Result, elapsed: time.Since(t0), cached: resp.Cached,
+					engine: resp.Engine, escalated: resp.Escalated, err: err}
+				if resp.ErrorBound != nil {
+					outs[i].bound = *resp.ErrorBound
+				}
 				return
 			}
 			ctx := context.Background()
 			o := harness.RunOpts{SMJobs: *smJobs}
-			var res gpu.Result
+			e := harness.EngineReq{Engine: eng, Tolerance: *tolF}
+			var out harness.EngineOutcome
 			var err error
 			switch {
 			case tracer != nil && spec != nil:
-				res, err = runner.RunSpecTraced(ctx, spec, cfg, *loadstats, tracer, o)
+				out.Result, err = runner.RunSpecTraced(ctx, spec, cfg, *loadstats, tracer, o)
+				out.Engine = harness.EngineCycleAccurate
+				out.Escalated = eng == harness.EngineAuto
 			case tracer != nil:
-				res, err = runner.RunTraced(ctx, w.Name(), cfg, *loadstats, tracer)
+				out.Result, err = runner.RunTraced(ctx, w.Name(), cfg, *loadstats, tracer)
+				out.Engine = harness.EngineCycleAccurate
+				out.Escalated = eng == harness.EngineAuto
 			case spec != nil:
-				res, err = runner.RunSpecConfig(ctx, spec, cfg, *loadstats, o)
+				out, err = runner.RunEngineSpecConfig(ctx, spec, cfg, *loadstats, e, o)
 			default:
-				res, err = runner.RunConfig(ctx, w.Name(), cfg, *loadstats)
+				out, err = runner.RunEngineConfig(ctx, w.Name(), cfg, *loadstats, e, o)
 			}
-			outs[i] = outcome{res: res, elapsed: time.Since(t0), err: err}
+			outs[i] = outcome{res: out.Result, elapsed: time.Since(t0),
+				engine: out.Engine, escalated: out.Escalated, bound: out.Bound, err: err}
 		}(i, w)
 	}
 	wg.Wait()
@@ -268,15 +298,33 @@ func main() {
 
 	if *asJSON {
 		type jsonResult struct {
-			Workload string
-			Category string
-			Result   gpu.Result
-			WallMS   int64
+			Workload   string
+			Category   string
+			Result     gpu.Result
+			WallMS     int64
+			Engine     string       `json:",omitempty"`
+			Escalated  bool         `json:",omitempty"`
+			ErrorBound *twin.Bounds `json:",omitempty"`
+		}
+		// Engine annotations appear only when -engine was chosen, keeping
+		// default output stable for existing consumers.
+		mk := func(i int, w workloads.Workload) jsonResult {
+			jr := jsonResult{Workload: w.Name(), Category: w.Category.String(),
+				Result: outs[i].res, WallMS: outs[i].elapsed.Milliseconds()}
+			if *engineF != "" {
+				jr.Engine = outs[i].engine
+				jr.Escalated = outs[i].escalated
+				if outs[i].engine == harness.EngineTwin {
+					b := outs[i].bound
+					jr.ErrorBound = &b
+				}
+			}
+			return jr
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if len(wls) == 1 {
-			if err := enc.Encode(jsonResult{wls[0].Name(), wls[0].Category.String(), outs[0].res, outs[0].elapsed.Milliseconds()}); err != nil {
+			if err := enc.Encode(mk(0, wls[0])); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
@@ -284,7 +332,7 @@ func main() {
 		}
 		all := make([]jsonResult, len(wls))
 		for i, w := range wls {
-			all[i] = jsonResult{w.Name(), w.Category.String(), outs[i].res, outs[i].elapsed.Milliseconds()}
+			all[i] = mk(i, w)
 		}
 		if err := enc.Encode(all); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -298,6 +346,17 @@ func main() {
 			fmt.Println()
 		}
 		printResult(w, cfg, outs[i].res, outs[i].elapsed, *loadstats)
+		if *engineF != "" {
+			switch {
+			case outs[i].engine == harness.EngineTwin:
+				fmt.Printf("engine      twin (error bound ±%.1f%% IPC, ±%.1f pp L1)\n",
+					outs[i].bound.IPCRel*100, outs[i].bound.L1HitAbs*100)
+			case outs[i].escalated:
+				fmt.Println("engine      cycle-accurate (escalated from twin)")
+			case outs[i].engine != "":
+				fmt.Printf("engine      %s\n", outs[i].engine)
+			}
+		}
 		if outs[i].cached {
 			fmt.Println("served from the daemon's warm cache")
 		}
@@ -364,11 +423,13 @@ func traceSpecName(path string) string {
 
 // remoteSimulate delegates one run to an apresd daemon via POST
 // /v1/simulate with the full configuration (and any spec) inline.
-func remoteSimulate(base, app string, spec *workspec.Spec, cfg config.Config, loadStats bool, smJobs int) (gpu.Result, bool, error) {
+func remoteSimulate(base, app string, spec *workspec.Spec, cfg config.Config, loadStats bool, smJobs int, engine string, tolerance float64) (server.SimulateResponse, error) {
 	req := server.SimulateRequest{
 		ConfigInline: &cfg,
 		LoadStats:    loadStats,
 		SMJobs:       smJobs,
+		Engine:       engine,
+		Tolerance:    tolerance,
 	}
 	if spec != nil {
 		req.Spec = spec
@@ -377,31 +438,31 @@ func remoteSimulate(base, app string, spec *workspec.Spec, cfg config.Config, lo
 	}
 	body, err := json.Marshal(req)
 	if err != nil {
-		return gpu.Result{}, false, err
+		return server.SimulateResponse{}, err
 	}
 	resp, err := http.Post(strings.TrimRight(base, "/")+"/v1/simulate", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return gpu.Result{}, false, fmt.Errorf("apresd at %s: %w", base, err)
+		return server.SimulateResponse{}, fmt.Errorf("apresd at %s: %w", base, err)
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return gpu.Result{}, false, err
+		return server.SimulateResponse{}, err
 	}
 	if resp.StatusCode != http.StatusOK {
 		var e struct {
 			Error string `json:"error"`
 		}
 		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return gpu.Result{}, false, fmt.Errorf("apresd: %s (HTTP %d)", e.Error, resp.StatusCode)
+			return server.SimulateResponse{}, fmt.Errorf("apresd: %s (HTTP %d)", e.Error, resp.StatusCode)
 		}
-		return gpu.Result{}, false, fmt.Errorf("apresd: HTTP %d", resp.StatusCode)
+		return server.SimulateResponse{}, fmt.Errorf("apresd: HTTP %d", resp.StatusCode)
 	}
 	var out server.SimulateResponse
 	if err := json.Unmarshal(data, &out); err != nil {
-		return gpu.Result{}, false, fmt.Errorf("apresd: bad response: %w", err)
+		return server.SimulateResponse{}, fmt.Errorf("apresd: bad response: %w", err)
 	}
-	return out.Result, out.Cached, nil
+	return out, nil
 }
 
 func printResult(w workloads.Workload, cfg config.Config, res gpu.Result, elapsed time.Duration, loadstats bool) {

@@ -58,6 +58,8 @@ func main() {
 		specDir  = flag.String("specs", "", "sweep every workload-spec JSON file in this directory instead of running the paper experiments")
 		specCfgs = flag.String("spec-configs", "base,apres", "comma-separated named configurations for the -specs sweep")
 		storeDir = flag.String("store", "", "persistent result-store directory shared with apresd (empty = off)")
+		engineF  = flag.String("engine", "", "serving engine for every run: cycle-accurate (default) | twin (analytical, approximate figures in milliseconds) | auto (twin with cycle-accurate fallback)")
+		tolF     = flag.Float64("tolerance", 0, "auto-engine escalation threshold on the relative IPC error bound (0 = calibration default)")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
 		showVer  = flag.Bool("version", false, "print the simulator version stamp and exit")
@@ -100,9 +102,23 @@ func main() {
 		os.Exit(1)
 	}
 
+	eng, err := harness.ParseEngine(*engineF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *tolF < 0 {
+		fmt.Fprintf(os.Stderr, "-tolerance must be >= 0, got %g\n", *tolF)
+		os.Exit(1)
+	}
+
 	r := harness.NewRunner(*scale, *sms)
 	r.Jobs = *jobs
 	r.SMJobs = *smJobs
+	if *engineF != "" {
+		r.EngineDefault = eng
+		r.EngineTolerance = *tolF
+	}
 	if *storeDir != "" {
 		st, err := resultstore.Open(*storeDir, 256)
 		if err != nil {
@@ -173,8 +189,17 @@ func main() {
 			os.Exit(1)
 		}
 		d := r.Stats().Sub(before)
-		fmt.Fprintf(os.Stderr, "%-7s wall %-10v sims %-4d cache hits %-4d dedup waits %-4d store hits %d\n",
-			e.id, time.Since(t0).Round(time.Millisecond), d.Simulations, d.CacheHits, d.DedupWaits, d.StoreHits)
+		// With an engine selected, twin-served runs are reported as their
+		// own column instead of disappearing into the simulator cache-hit
+		// counter — the per-experiment line shows exactly which engine did
+		// the work.
+		if *engineF != "" {
+			fmt.Fprintf(os.Stderr, "%-7s wall %-10v sims %-4d twin %-4d escalated %-4d cache hits %-4d store hits %d\n",
+				e.id, time.Since(t0).Round(time.Millisecond), d.Simulations, d.TwinServed, d.TwinEscalations, d.CacheHits, d.StoreHits)
+		} else {
+			fmt.Fprintf(os.Stderr, "%-7s wall %-10v sims %-4d cache hits %-4d dedup waits %-4d store hits %d\n",
+				e.id, time.Since(t0).Round(time.Millisecond), d.Simulations, d.CacheHits, d.DedupWaits, d.StoreHits)
+		}
 		fmt.Printf("== %s ==\n%s\n", e.id, out)
 	}
 	effJobs := *jobs
@@ -182,8 +207,13 @@ func main() {
 		effJobs = runtime.GOMAXPROCS(0)
 	}
 	total := r.Stats()
-	fmt.Fprintf(os.Stderr, "total wall time: %v (jobs %d, %d sims, %d cache hits, %d dedup waits, %d store hits)\n",
-		time.Since(start).Round(time.Millisecond), effJobs, total.Simulations, total.CacheHits, total.DedupWaits, total.StoreHits)
+	if *engineF != "" {
+		fmt.Fprintf(os.Stderr, "total wall time: %v (jobs %d, engine %s: %d sims, %d twin-served, %d escalated, %d cache hits, %d store hits)\n",
+			time.Since(start).Round(time.Millisecond), effJobs, eng, total.Simulations, total.TwinServed, total.TwinEscalations, total.CacheHits, total.StoreHits)
+	} else {
+		fmt.Fprintf(os.Stderr, "total wall time: %v (jobs %d, %d sims, %d cache hits, %d dedup waits, %d store hits)\n",
+			time.Since(start).Round(time.Millisecond), effJobs, total.Simulations, total.CacheHits, total.DedupWaits, total.StoreHits)
+	}
 }
 
 // runSpecSweep validates every spec file in dir and every configuration
@@ -260,9 +290,15 @@ func runSpecSweep(r *harness.Runner, dir, cfgList, format string) {
 		os.Exit(1)
 	}
 	stats := r.Stats()
-	fmt.Fprintf(os.Stderr, "spec sweep: %d specs x %d configs, wall %v (%d sims, %d cache hits, %d store hits)\n",
-		len(specs), len(cfgNames), time.Since(t0).Round(time.Millisecond),
-		stats.Simulations, stats.CacheHits, stats.StoreHits)
+	if r.EngineDefault != "" {
+		fmt.Fprintf(os.Stderr, "spec sweep: %d specs x %d configs, wall %v (engine %s: %d sims, %d twin-served, %d escalated, %d cache hits, %d store hits)\n",
+			len(specs), len(cfgNames), time.Since(t0).Round(time.Millisecond),
+			r.EngineDefault, stats.Simulations, stats.TwinServed, stats.TwinEscalations, stats.CacheHits, stats.StoreHits)
+	} else {
+		fmt.Fprintf(os.Stderr, "spec sweep: %d specs x %d configs, wall %v (%d sims, %d cache hits, %d store hits)\n",
+			len(specs), len(cfgNames), time.Since(t0).Round(time.Millisecond),
+			stats.Simulations, stats.CacheHits, stats.StoreHits)
+	}
 	fmt.Print(out)
 }
 

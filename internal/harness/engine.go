@@ -1,0 +1,290 @@
+// Engine selection: every serving entry point can choose between the
+// cycle-accurate simulator (exact, tens of milliseconds), the analytical
+// twin (approximate with calibrated error bounds, microseconds), and an
+// auto mode that serves from the twin whenever its bound fits the caller's
+// tolerance and silently escalates to the simulator when it does not — or
+// when the request demands something only a real execution has (load
+// characterisation, traces, MaxCycles bounds).
+//
+// Twin answers and exact answers share persistent-store keys. A twin-served
+// result is stored tagged Engine="twin" with its error bounds, the exact
+// path treats such entries as misses, and an escalated exact run overwrites
+// the twin entry in place — so a cached approximation can never masquerade
+// as an exact result.
+package harness
+
+import (
+	"context"
+	"fmt"
+
+	"apres/internal/config"
+	"apres/internal/gpu"
+	"apres/internal/resultstore"
+	"apres/internal/twin"
+	"apres/internal/workspec"
+)
+
+// Engine names accepted by ParseEngine and reported in EngineOutcome.
+const (
+	// EngineCycleAccurate runs the real simulator. Always exact.
+	EngineCycleAccurate = twin.EngineCycleAccurate
+	// EngineTwin answers from the analytical model only, erroring on
+	// requests it cannot serve (load stats, MaxCycles bounds).
+	EngineTwin = twin.EngineTwin
+	// EngineAuto serves from the twin when its error bound fits the
+	// tolerance and escalates to the simulator otherwise.
+	EngineAuto = "auto"
+)
+
+// Engines lists the valid engine names (flag docs, API errors).
+func Engines() []string {
+	return []string{EngineCycleAccurate, EngineTwin, EngineAuto}
+}
+
+// ParseEngine normalises an engine name from a flag or API request. The
+// empty string selects the cycle-accurate engine, preserving pre-engine
+// behaviour for every existing caller.
+func ParseEngine(s string) (string, error) {
+	switch s {
+	case "", EngineCycleAccurate:
+		return EngineCycleAccurate, nil
+	case EngineTwin:
+		return EngineTwin, nil
+	case EngineAuto:
+		return EngineAuto, nil
+	}
+	return "", fmt.Errorf("harness: unknown engine %q (valid: %v)", s, Engines())
+}
+
+// EngineReq selects the engine for one run.
+type EngineReq struct {
+	// Engine is one of the Engine* constants; "" means cycle-accurate.
+	Engine string
+	// Tolerance is the auto engine's escalation threshold on the relative
+	// IPC error bound; 0 selects the calibration's default.
+	Tolerance float64
+}
+
+// EngineOutcome is an engine-selected run's result plus its provenance.
+type EngineOutcome struct {
+	Result gpu.Result
+	// Engine is the engine that actually produced Result (auto reports
+	// what it resolved to).
+	Engine string
+	// Escalated reports that auto mode fell back to the simulator.
+	Escalated bool
+	// Bound is the twin's calibrated error bound; zero when Engine is
+	// cycle-accurate.
+	Bound twin.Bounds
+}
+
+// engineDefault resolves the Runner-level EngineDefault routing for the
+// cache-path entry points. Exact mode (or none) keeps the plain path; a
+// twin default with load statistics requested also stays exact, because
+// characterisation needs a real execution and erroring would make
+// EngineDefault unusable for mixed suites.
+func (r *Runner) engineDefault(loadStats bool) (EngineReq, bool) {
+	switch r.EngineDefault {
+	case "", EngineCycleAccurate:
+		return EngineReq{}, false
+	case EngineTwin:
+		if loadStats {
+			return EngineReq{}, false
+		}
+	}
+	return EngineReq{Engine: r.EngineDefault, Tolerance: r.EngineTolerance}, true
+}
+
+// Twin returns the Runner's analytical model (shared, lazily built).
+func (r *Runner) Twin() *twin.Model {
+	r.twinOnce.Do(func() { r.twinModel = twin.New() })
+	return r.twinModel
+}
+
+// RunEngineNamed is RunNamed with engine selection.
+func (r *Runner) RunEngineNamed(ctx context.Context, app, cfgName string, loadStats bool, e EngineReq, o RunOpts) (EngineOutcome, error) {
+	cfg, err := NamedConfig(cfgName)
+	if err != nil {
+		return EngineOutcome{}, err
+	}
+	rw, err := resolveNamed(app)
+	if err != nil {
+		return EngineOutcome{}, err
+	}
+	return r.runEngine(ctx, rw, "name:"+cfgName, cfgName, cfg, loadStats, e, o)
+}
+
+// RunEngineConfig is RunConfigOpts with engine selection.
+func (r *Runner) RunEngineConfig(ctx context.Context, app string, cfg config.Config, loadStats bool, e EngineReq, o RunOpts) (EngineOutcome, error) {
+	if err := cfg.Validate(); err != nil {
+		return EngineOutcome{}, err
+	}
+	rw, err := resolveNamed(app)
+	if err != nil {
+		return EngineOutcome{}, err
+	}
+	digest := resultstore.ConfigDigest(cfg)
+	return r.runEngine(ctx, rw, "cfg:"+digest, "cfg:"+digest, cfg, loadStats, e, o)
+}
+
+// RunEngineSpec is RunSpec with engine selection.
+func (r *Runner) RunEngineSpec(ctx context.Context, s *workspec.Spec, cfgName string, loadStats bool, e EngineReq, o RunOpts) (EngineOutcome, error) {
+	cfg, err := NamedConfig(cfgName)
+	if err != nil {
+		return EngineOutcome{}, err
+	}
+	rw, err := resolveSpec(s)
+	if err != nil {
+		return EngineOutcome{}, err
+	}
+	return r.runEngine(ctx, rw, "name:"+cfgName, cfgName, cfg, loadStats, e, o)
+}
+
+// RunEngineSpecConfig is RunSpecConfig with engine selection.
+func (r *Runner) RunEngineSpecConfig(ctx context.Context, s *workspec.Spec, cfg config.Config, loadStats bool, e EngineReq, o RunOpts) (EngineOutcome, error) {
+	if err := cfg.Validate(); err != nil {
+		return EngineOutcome{}, err
+	}
+	rw, err := resolveSpec(s)
+	if err != nil {
+		return EngineOutcome{}, err
+	}
+	digest := resultstore.ConfigDigest(cfg)
+	return r.runEngine(ctx, rw, "cfg:"+digest, "cfg:"+digest, cfg, loadStats, e, o)
+}
+
+// runEngine dispatches one resolved run to the requested engine.
+func (r *Runner) runEngine(ctx context.Context, rw resolved, tag, label string, cfg config.Config, loadStats bool, e EngineReq, o RunOpts) (EngineOutcome, error) {
+	eng, err := ParseEngine(e.Engine)
+	if err != nil {
+		return EngineOutcome{}, err
+	}
+	exact := func(escalated bool) (EngineOutcome, error) {
+		if escalated {
+			r.mu.Lock()
+			r.stats.TwinEscalations++
+			r.mu.Unlock()
+		}
+		res, err := r.runResolved(ctx, rw, tag, label, cfg, loadStats, o)
+		if err != nil {
+			return EngineOutcome{}, err
+		}
+		return EngineOutcome{Result: res, Engine: EngineCycleAccurate, Escalated: escalated}, nil
+	}
+	// TwinServed counts answers the caller actually received from the twin,
+	// so it is bumped here at the serving decision, not inside twinServe —
+	// an auto-mode prediction that escalates was never served.
+	serveTwin := func(out EngineOutcome) (EngineOutcome, error) {
+		if out.Engine == EngineTwin {
+			r.mu.Lock()
+			r.stats.TwinServed++
+			r.mu.Unlock()
+		}
+		return out, nil
+	}
+	switch eng {
+	case EngineCycleAccurate:
+		return exact(false)
+	case EngineTwin:
+		if loadStats {
+			return EngineOutcome{}, fmt.Errorf("harness: engine %q cannot collect load statistics; use %q or %q", EngineTwin, EngineCycleAccurate, EngineAuto)
+		}
+		out, err := r.twinServe(rw, cfg)
+		if err != nil {
+			return out, err
+		}
+		return serveTwin(out)
+	default: // EngineAuto
+		if loadStats {
+			// Characterisation needs a real execution: escalate outright.
+			return exact(true)
+		}
+		out, err := r.twinServe(rw, cfg)
+		if err != nil {
+			// The twin declined (MaxCycles bound, degenerate model
+			// output): auto's contract is a correct answer, so escalate.
+			return exact(true)
+		}
+		if out.Engine == EngineCycleAccurate {
+			// The store already held an exact entry; nothing to escalate.
+			return out, nil
+		}
+		tol := e.Tolerance
+		if tol <= 0 {
+			tol = r.Twin().DefaultTolerance()
+		}
+		if out.Bound.Exceeds(tol) {
+			return exact(true)
+		}
+		return serveTwin(out)
+	}
+}
+
+// twinServe answers one run from the analytical twin, store-first: an exact
+// entry under the run's key is strictly better than a prediction and is
+// served as cycle-accurate; a twin entry is served with its stored bounds;
+// otherwise the model predicts and the tagged result is persisted. Twin
+// queries never take a worker-pool slot and never enter the exact memo
+// cache — a prediction is microseconds, and the memo must stay exact-only.
+func (r *Runner) twinServe(rw resolved, cfg config.Config) (EngineOutcome, error) {
+	if r.SMs > 0 {
+		cfg.NumSMs = r.SMs
+	}
+	if r.Adjust != nil {
+		r.Adjust(&cfg)
+		if err := cfg.Validate(); err != nil {
+			return EngineOutcome{}, err
+		}
+	}
+	var storeKey string
+	if r.Store != nil && r.Adjust == nil {
+		storeKey = resultstore.Key(rw.id, r.Scale, false, cfg, rw.vstamp)
+		if e, ok := r.Store.Get(storeKey); ok {
+			r.mu.Lock()
+			r.stats.StoreHits++
+			r.mu.Unlock()
+			if e.Exact() {
+				return EngineOutcome{Result: e.Result, Engine: EngineCycleAccurate}, nil
+			}
+			return EngineOutcome{
+				Result: e.Result,
+				Engine: EngineTwin,
+				Bound:  twin.Bounds{IPCRel: e.ErrorBoundIPC, L1HitAbs: e.ErrorBoundL1},
+			}, nil
+		}
+	}
+
+	m := r.Twin()
+	// Anchors are fitted at one iteration scale; a run at any other scale
+	// is off the calibration set, so qualify the id out of the anchor map
+	// and let the prediction carry honest unanchored bounds.
+	id := rw.id
+	if r.Scale != m.Calibration().Scale {
+		id = fmt.Sprintf("%s@scale=%g", rw.id, r.Scale)
+	}
+	w := rw.w
+	if r.Scale != 1 {
+		w.Kernel = w.Kernel.Scaled(r.Scale)
+	}
+	p, err := m.Predict(id, w, cfg)
+	if err != nil {
+		return EngineOutcome{}, err
+	}
+	res := p.Result()
+	if storeKey != "" {
+		if err := r.Store.Put(storeKey, resultstore.Entry{
+			Workload:      rw.id,
+			Scale:         r.Scale,
+			Version:       rw.vstamp,
+			Engine:        twin.EngineTwin,
+			ErrorBoundIPC: p.Bounds.IPCRel,
+			ErrorBoundL1:  p.Bounds.L1HitAbs,
+			Result:        res,
+		}); err != nil {
+			r.mu.Lock()
+			r.stats.StoreErrors++
+			r.mu.Unlock()
+		}
+	}
+	return EngineOutcome{Result: res, Engine: EngineTwin, Bound: p.Bounds}, nil
+}

@@ -15,6 +15,7 @@ import (
 	"apres/internal/gpu"
 	"apres/internal/resultstore"
 	"apres/internal/trace"
+	"apres/internal/twin"
 	"apres/internal/version"
 	"apres/internal/workloads"
 )
@@ -107,6 +108,17 @@ type Runner struct {
 	// CLIs and the daemon. Runs under a non-nil Adjust hook bypass the
 	// store: the hook's effect cannot be content-addressed.
 	Store *resultstore.Store
+	// EngineDefault, when set to EngineTwin or EngineAuto, routes every
+	// cache-path run (Run/RunConfig/RunSpec and everything built on them,
+	// e.g. the paper figures) through the engine selector, so a whole
+	// experiment suite can be served analytically. Load-characterisation
+	// runs always execute for real (twin falls back to exact, auto counts
+	// an escalation), and traced runs are unaffected. "" or
+	// EngineCycleAccurate keep the exact path.
+	EngineDefault string
+	// EngineTolerance is the auto escalation threshold used with
+	// EngineDefault (0 = calibration default).
+	EngineTolerance float64
 
 	mu       sync.Mutex
 	cache    map[runKey]gpu.Result
@@ -114,6 +126,12 @@ type Runner struct {
 	sem      chan struct{}
 	stats    RunStats
 	waiting  atomic.Int64
+
+	// twinOnce/twinModel lazily hold the analytical twin shared by every
+	// engine-selected run on this Runner (its feature memo makes repeat
+	// queries cost microseconds).
+	twinOnce  sync.Once
+	twinModel *twin.Model
 }
 
 // NewRunner returns a Runner at the given workload scale (1.0 = full size).
@@ -175,6 +193,10 @@ func (r *Runner) run(ctx context.Context, app, cfgName string, loadStats bool, o
 	if err != nil {
 		return gpu.Result{}, err
 	}
+	if e, ok := r.engineDefault(loadStats); ok {
+		out, err := r.runEngine(ctx, res, "name:"+cfgName, cfgName, cfg, loadStats, e, o)
+		return out.Result, err
+	}
 	return r.runResolved(ctx, res, "name:"+cfgName, cfgName, cfg, loadStats, o)
 }
 
@@ -215,6 +237,10 @@ func (r *Runner) RunConfigOpts(ctx context.Context, app string, cfg config.Confi
 		return gpu.Result{}, err
 	}
 	digest := resultstore.ConfigDigest(cfg)
+	if e, ok := r.engineDefault(loadStats); ok {
+		out, err := r.runEngine(ctx, res, "cfg:"+digest, "cfg:"+digest, cfg, loadStats, e, o)
+		return out.Result, err
+	}
 	return r.runResolved(ctx, res, "cfg:"+digest, "cfg:"+digest, cfg, loadStats, o)
 }
 
@@ -341,7 +367,11 @@ func (r *Runner) runOnce(ctx context.Context, rw resolved, label string, cfg con
 	var storeKey string
 	if r.Store != nil && r.Adjust == nil {
 		storeKey = resultstore.Key(rw.id, r.Scale, loadStats, cfg, rw.vstamp)
-		if e, ok := r.Store.Get(storeKey); ok {
+		// Twin-tagged entries share keys with exact runs but are only
+		// approximations: the exact path treats them as misses, and the
+		// Put below overwrites them in place (escalation promotes an
+		// approximate entry to an exact one, never the other way).
+		if e, ok := r.Store.Get(storeKey); ok && e.Exact() {
 			r.mu.Lock()
 			r.stats.StoreHits++
 			r.mu.Unlock()
@@ -363,6 +393,7 @@ func (r *Runner) runOnce(ctx context.Context, rw resolved, label string, cfg con
 			Scale:     r.Scale,
 			LoadStats: loadStats,
 			Version:   rw.vstamp,
+			Engine:    twin.EngineCycleAccurate,
 			Result:    res,
 		}); err != nil {
 			// A persistence failure must not fail the run; count it so

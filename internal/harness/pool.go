@@ -30,16 +30,25 @@ type RunStats struct {
 	// StoreErrors counts failed persistent-store writes (the run itself
 	// still succeeds).
 	StoreErrors int64
+	// TwinServed is the number of engine-selected runs answered by the
+	// analytical twin (fresh predictions and twin-tagged store entries).
+	TwinServed int64
+	// TwinEscalations is the number of auto-engine runs that fell back to
+	// the cycle-accurate simulator (error bound over tolerance, a request
+	// the twin cannot serve, or a twin prediction error).
+	TwinEscalations int64
 }
 
 // Sub returns s minus o, for per-experiment deltas.
 func (s RunStats) Sub(o RunStats) RunStats {
 	return RunStats{
-		Simulations: s.Simulations - o.Simulations,
-		CacheHits:   s.CacheHits - o.CacheHits,
-		DedupWaits:  s.DedupWaits - o.DedupWaits,
-		StoreHits:   s.StoreHits - o.StoreHits,
-		StoreErrors: s.StoreErrors - o.StoreErrors,
+		Simulations:     s.Simulations - o.Simulations,
+		CacheHits:       s.CacheHits - o.CacheHits,
+		DedupWaits:      s.DedupWaits - o.DedupWaits,
+		StoreHits:       s.StoreHits - o.StoreHits,
+		StoreErrors:     s.StoreErrors - o.StoreErrors,
+		TwinServed:      s.TwinServed - o.TwinServed,
+		TwinEscalations: s.TwinEscalations - o.TwinEscalations,
 	}
 }
 

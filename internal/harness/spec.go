@@ -55,6 +55,10 @@ func (r *Runner) RunSpec(ctx context.Context, s *workspec.Spec, cfgName string, 
 	if err != nil {
 		return gpu.Result{}, err
 	}
+	if e, ok := r.engineDefault(loadStats); ok {
+		out, err := r.runEngine(ctx, rw, "name:"+cfgName, cfgName, cfg, loadStats, e, o)
+		return out.Result, err
+	}
 	return r.runResolved(ctx, rw, "name:"+cfgName, cfgName, cfg, loadStats, o)
 }
 
@@ -68,6 +72,10 @@ func (r *Runner) RunSpecConfig(ctx context.Context, s *workspec.Spec, cfg config
 		return gpu.Result{}, err
 	}
 	digest := resultstore.ConfigDigest(cfg)
+	if e, ok := r.engineDefault(loadStats); ok {
+		out, err := r.runEngine(ctx, rw, "cfg:"+digest, "cfg:"+digest, cfg, loadStats, e, o)
+		return out.Result, err
+	}
 	return r.runResolved(ctx, rw, "cfg:"+digest, "cfg:"+digest, cfg, loadStats, o)
 }
 

@@ -33,7 +33,11 @@ import (
 // schema versions the on-disk entry layout. Bump it when Entry or
 // gpu.Result change shape incompatibly: old files then hash under keys
 // nobody computes any more and are simply never read.
-const schema = 1
+//
+// Schema 2 added engine tagging (Engine + ErrorBound*): entries written by
+// the analytical twin share keys with exact runs, so pre-engine stores must
+// not be read back as if every entry were cycle-accurate.
+const schema = 2
 
 // Entry is one persisted simulation result plus the metadata needed to
 // audit where it came from.
@@ -48,6 +52,16 @@ type Entry struct {
 	LoadStats bool `json:"loadStats,omitempty"`
 	// Version is the simulator version stamp that produced the result.
 	Version string `json:"version"`
+	// Engine records which engine produced the result: "" or
+	// "cycle-accurate" for exact simulation, "twin" for the analytical
+	// model. Twin entries live under the same key as the exact run they
+	// approximate; readers wanting exactness must check this tag (an
+	// escalated exact run later overwrites the twin entry in place).
+	Engine string `json:"engine,omitempty"`
+	// ErrorBoundIPC / ErrorBoundL1 carry a twin entry's calibrated error
+	// bound (relative IPC, absolute L1 hit rate). Zero for exact entries.
+	ErrorBoundIPC float64 `json:"errorBoundIPC,omitempty"`
+	ErrorBoundL1  float64 `json:"errorBoundL1,omitempty"`
 	// CreatedAt is when the entry was first stored.
 	CreatedAt time.Time `json:"createdAt"`
 	// Result is the full simulation outcome. Only exported fields survive
@@ -55,6 +69,11 @@ type Entry struct {
 	// every consumer reads exported counters only).
 	Result gpu.Result `json:"result"`
 }
+
+// Exact reports whether the entry holds a cycle-accurate result (untagged
+// entries predate engine selection and were always produced by the
+// simulator, so they count as exact).
+func (e *Entry) Exact() bool { return e.Engine == "" || e.Engine == "cycle-accurate" }
 
 // keyMaterial is the canonical serialisation hashed into a key. It is a
 // struct (not a map) so field order — and therefore the hash — is fixed.

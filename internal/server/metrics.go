@@ -16,18 +16,25 @@ import (
 // seconds (a +Inf bucket is implicit).
 var latencyBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 120}
 
-// histogram is a fixed-bucket cumulative latency histogram.
+// boundBuckets are the twin error-bound histogram bounds (relative IPC
+// bound of twin-served responses; a +Inf bucket is implicit).
+var boundBuckets = []float64{0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 1}
+
+// histogram is a fixed-bucket cumulative histogram.
 type histogram struct {
-	counts []int64 // one per bucket, non-cumulative
-	sum    float64
-	count  int64
+	buckets []float64
+	counts  []int64 // one per bucket, non-cumulative
+	sum     float64
+	count   int64
 }
+
+func newHistogram(buckets []float64) *histogram { return &histogram{buckets: buckets} }
 
 func (h *histogram) observe(v float64) {
 	if h.counts == nil {
-		h.counts = make([]int64, len(latencyBuckets))
+		h.counts = make([]int64, len(h.buckets))
 	}
-	for i, ub := range latencyBuckets {
+	for i, ub := range h.buckets {
 		if v <= ub {
 			h.counts[i]++
 			break
@@ -47,13 +54,36 @@ type metrics struct {
 	inflight int64
 	// simLatency histograms simulation wall time by config label.
 	simLatency map[string]*histogram
+	// engineServed counts answered runs by the engine that produced them.
+	engineServed map[string]int64
+	// escalations counts auto-engine runs that fell back to the simulator.
+	escalations int64
+	// twinBound histograms the relative-IPC error bound of twin-served
+	// responses (how tight the served approximations were).
+	twinBound *histogram
 }
 
 func newMetrics() *metrics {
 	return &metrics{
-		requests:   make(map[string]int64),
-		simLatency: make(map[string]*histogram),
+		requests:     make(map[string]int64),
+		simLatency:   make(map[string]*histogram),
+		engineServed: make(map[string]int64),
+		twinBound:    newHistogram(boundBuckets),
 	}
+}
+
+// countEngine records one engine-selected answer: the serving engine, its
+// escalation flag, and (for twin-served answers) the IPC error bound.
+func (m *metrics) countEngine(engine string, escalated bool, bound float64) {
+	m.mu.Lock()
+	m.engineServed[engine]++
+	if escalated {
+		m.escalations++
+	}
+	if engine == "twin" {
+		m.twinBound.observe(bound)
+	}
+	m.mu.Unlock()
 }
 
 func (m *metrics) countRequest(endpoint string, code int) {
@@ -73,7 +103,7 @@ func (m *metrics) simEnd(cfgLabel string, seconds float64) {
 	m.inflight--
 	h, ok := m.simLatency[cfgLabel]
 	if !ok {
-		h = &histogram{}
+		h = newHistogram(latencyBuckets)
 		m.simLatency[cfgLabel] = h
 	}
 	h.observe(seconds)
@@ -118,7 +148,7 @@ func (m *metrics) render(b *strings.Builder, version string) {
 	for _, c := range cfgs {
 		h := m.simLatency[c]
 		var cum int64
-		for i, ub := range latencyBuckets {
+		for i, ub := range h.buckets {
 			if h.counts != nil {
 				cum += h.counts[i]
 			}
@@ -128,4 +158,32 @@ func (m *metrics) render(b *strings.Builder, version string) {
 		fmt.Fprintf(b, "apresd_sim_duration_seconds_sum{config=%q} %g\n", c, h.sum)
 		fmt.Fprintf(b, "apresd_sim_duration_seconds_count{config=%q} %d\n", c, h.count)
 	}
+
+	fmt.Fprintf(b, "# HELP apresd_engine_served_total Answered runs by serving engine.\n")
+	fmt.Fprintf(b, "# TYPE apresd_engine_served_total counter\n")
+	engines := make([]string, 0, len(m.engineServed))
+	for e := range m.engineServed {
+		engines = append(engines, e)
+	}
+	sort.Strings(engines)
+	for _, e := range engines {
+		fmt.Fprintf(b, "apresd_engine_served_total{engine=%q} %d\n", e, m.engineServed[e])
+	}
+
+	fmt.Fprintf(b, "# HELP apresd_engine_escalations_total Auto-engine runs escalated to the cycle-accurate simulator.\n")
+	fmt.Fprintf(b, "# TYPE apresd_engine_escalations_total counter\n")
+	fmt.Fprintf(b, "apresd_engine_escalations_total %d\n", m.escalations)
+
+	fmt.Fprintf(b, "# HELP apresd_twin_error_bound Relative-IPC error bound of twin-served responses.\n")
+	fmt.Fprintf(b, "# TYPE apresd_twin_error_bound histogram\n")
+	var cum int64
+	for i, ub := range m.twinBound.buckets {
+		if m.twinBound.counts != nil {
+			cum += m.twinBound.counts[i]
+		}
+		fmt.Fprintf(b, "apresd_twin_error_bound_bucket{le=\"%g\"} %d\n", ub, cum)
+	}
+	fmt.Fprintf(b, "apresd_twin_error_bound_bucket{le=\"+Inf\"} %d\n", m.twinBound.count)
+	fmt.Fprintf(b, "apresd_twin_error_bound_sum %g\n", m.twinBound.sum)
+	fmt.Fprintf(b, "apresd_twin_error_bound_count %d\n", m.twinBound.count)
 }

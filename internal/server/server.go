@@ -47,6 +47,7 @@ import (
 	"apres/internal/harness"
 	"apres/internal/resultstore"
 	"apres/internal/trace"
+	"apres/internal/twin"
 	"apres/internal/version"
 	"apres/internal/workloads"
 	"apres/internal/workspec"
@@ -68,17 +69,25 @@ type Options struct {
 	// TraceDir is where traced runs write their artifacts. Empty disables
 	// the trace opt-in (requests with "trace": true get 400).
 	TraceDir string
+	// DefaultEngine serves requests that do not pick an engine; "" means
+	// cycle-accurate (the pre-engine behaviour).
+	DefaultEngine string
+	// DefaultTolerance is the auto engine's escalation threshold for
+	// requests that do not set one; 0 uses the calibration default.
+	DefaultTolerance float64
 }
 
 // Server is the apresd HTTP handler. Create with New; it is safe for
 // concurrent use.
 type Server struct {
-	runner   *harness.Runner
-	timeout  time.Duration
-	mux      *http.ServeMux
-	metrics  *metrics
-	started  time.Time
-	traceDir string
+	runner    *harness.Runner
+	timeout   time.Duration
+	mux       *http.ServeMux
+	metrics   *metrics
+	started   time.Time
+	traceDir  string
+	defEngine string
+	defTol    float64
 
 	traceMu  sync.Mutex
 	traces   map[string]string // trace id -> artifact path
@@ -88,13 +97,15 @@ type Server struct {
 // New builds a Server over opts.Runner.
 func New(opts Options) *Server {
 	s := &Server{
-		runner:   opts.Runner,
-		timeout:  opts.SimTimeout,
-		mux:      http.NewServeMux(),
-		metrics:  newMetrics(),
-		started:  time.Now(),
-		traceDir: opts.TraceDir,
-		traces:   make(map[string]string),
+		runner:    opts.Runner,
+		timeout:   opts.SimTimeout,
+		mux:       http.NewServeMux(),
+		metrics:   newMetrics(),
+		started:   time.Now(),
+		traceDir:  opts.TraceDir,
+		defEngine: opts.DefaultEngine,
+		defTol:    opts.DefaultTolerance,
+		traces:    make(map[string]string),
 	}
 	s.mux.HandleFunc("POST /v1/simulate", s.counted("simulate", s.handleSimulate))
 	s.mux.HandleFunc("POST /v1/sweep", s.counted("sweep", s.handleSweep))
@@ -200,6 +211,13 @@ type SimulateRequest struct {
 	// engine is bit-identical to the serial one, so sm_jobs changes only
 	// wall time — store keys and results are the same either way.
 	SMJobs int `json:"sm_jobs,omitempty"`
+	// Engine selects how the run is answered: "cycle-accurate" (default),
+	// "twin" (analytical model, microseconds, carries an error bound), or
+	// "auto" (twin when its bound fits the tolerance, simulator otherwise).
+	Engine string `json:"engine,omitempty"`
+	// Tolerance is auto's escalation threshold on the relative IPC error
+	// bound; 0 uses the calibration default.
+	Tolerance float64 `json:"tolerance,omitempty"`
 }
 
 // SimulateResponse is the POST /v1/simulate reply.
@@ -220,6 +238,14 @@ type SimulateResponse struct {
 	Result  gpu.Result `json:"result"`
 	// Trace is the download URL of the trace artifact for traced runs.
 	Trace string `json:"trace,omitempty"`
+	// Engine reports which engine actually produced Result.
+	Engine string `json:"engine,omitempty"`
+	// Escalated reports that an auto-engine request fell back to the
+	// cycle-accurate simulator.
+	Escalated bool `json:"escalated,omitempty"`
+	// ErrorBound is the calibrated error bound of a twin-served result;
+	// absent for exact results.
+	ErrorBound *twin.Bounds `json:"errorBound,omitempty"`
 }
 
 // target is a resolved workload identity: a named Table-IV benchmark or an
@@ -258,17 +284,18 @@ func (s *Server) storeKeyFor(t target, cfg config.Config, loadStats bool) string
 	return s.runner.StoreKey(t.name, cfg, loadStats)
 }
 
-// runTarget dispatches a run to the named-workload or spec path.
-func (s *Server) runTarget(ctx context.Context, t target, cfgName string, cfg config.Config, named, loadStats bool, o harness.RunOpts) (gpu.Result, error) {
+// runTarget dispatches a run to the named-workload or spec path of the
+// requested engine.
+func (s *Server) runTarget(ctx context.Context, t target, cfgName string, cfg config.Config, named, loadStats bool, e harness.EngineReq, o harness.RunOpts) (harness.EngineOutcome, error) {
 	switch {
 	case t.spec != nil && named:
-		return s.runner.RunSpec(ctx, t.spec, cfgName, loadStats, o)
+		return s.runner.RunEngineSpec(ctx, t.spec, cfgName, loadStats, e, o)
 	case t.spec != nil:
-		return s.runner.RunSpecConfig(ctx, t.spec, cfg, loadStats, o)
+		return s.runner.RunEngineSpecConfig(ctx, t.spec, cfg, loadStats, e, o)
 	case named:
-		return s.runner.RunNamed(ctx, t.name, cfgName, loadStats, o)
+		return s.runner.RunEngineNamed(ctx, t.name, cfgName, loadStats, e, o)
 	default:
-		return s.runner.RunConfigOpts(ctx, t.name, cfg, loadStats, o)
+		return s.runner.RunEngineConfig(ctx, t.name, cfg, loadStats, e, o)
 	}
 }
 
@@ -298,6 +325,25 @@ func resolveConfig(req *SimulateRequest) (cfg config.Config, label string, named
 		return cfg, "", false, err
 	}
 	return cfg, name, true, nil
+}
+
+// resolveEngine applies the daemon's default engine and tolerance to a
+// request's (possibly empty) choices and validates both.
+func (s *Server) resolveEngine(engine string, tolerance float64) (string, float64, error) {
+	if engine == "" {
+		engine = s.defEngine
+	}
+	eng, err := harness.ParseEngine(engine)
+	if err != nil {
+		return "", 0, err
+	}
+	if tolerance < 0 {
+		return "", 0, fmt.Errorf("tolerance must be >= 0, got %g", tolerance)
+	}
+	if tolerance == 0 {
+		tolerance = s.defTol
+	}
+	return eng, tolerance, nil
 }
 
 // simCtx derives the per-request simulation context.
@@ -336,8 +382,20 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	eng, tol, err := s.resolveEngine(req.Engine, req.Tolerance)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if eng == harness.EngineTwin && (req.Trace || req.LoadStats) {
+		writeError(w, http.StatusBadRequest, "engine %q cannot serve traces or load statistics: they need a real execution (use %q or %q)",
+			harness.EngineTwin, harness.EngineCycleAccurate, harness.EngineAuto)
+		return
+	}
 	if req.Trace {
-		s.handleTracedSimulate(w, r, &req, tgt, cfg, label)
+		// A trace demands an actual execution; under auto that is an
+		// escalation, annotated as such in the response.
+		s.handleTracedSimulate(w, r, &req, tgt, cfg, label, eng == harness.EngineAuto)
 		return
 	}
 
@@ -348,22 +406,31 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	s.metrics.simStart()
 	t0 := time.Now()
-	res, err := s.runTarget(ctx, tgt, label, cfg, named, req.LoadStats, harness.RunOpts{SMJobs: req.SMJobs})
+	out, err := s.runTarget(ctx, tgt, label, cfg, named, req.LoadStats,
+		harness.EngineReq{Engine: eng, Tolerance: tol}, harness.RunOpts{SMJobs: req.SMJobs})
 	wall := time.Since(t0)
 	s.metrics.simEnd(label, wall.Seconds())
 	if err != nil {
 		writeError(w, runErrorStatus(err), "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, SimulateResponse{
-		Workload: tgt.name,
-		Config:   label,
-		Key:      key,
-		Cached:   cached,
-		WallMS:   wall.Milliseconds(),
-		Version:  version.Stamp(),
-		Result:   res,
-	})
+	s.metrics.countEngine(out.Engine, out.Escalated, out.Bound.IPCRel)
+	resp := SimulateResponse{
+		Workload:  tgt.name,
+		Config:    label,
+		Key:       key,
+		Cached:    cached,
+		WallMS:    wall.Milliseconds(),
+		Version:   version.Stamp(),
+		Result:    out.Result,
+		Engine:    out.Engine,
+		Escalated: out.Escalated,
+	}
+	if out.Engine == harness.EngineTwin {
+		b := out.Bound
+		resp.ErrorBound = &b
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // defaultTraceInterval is the interval-sampler window (in cycles) used when
@@ -390,7 +457,7 @@ func (s *Server) newTraceID(app, label string) string {
 // attached, streaming the Chrome-trace artifact to TraceDir. Traced runs
 // always execute (the Runner bypasses its caches for them) and never write
 // the result store, so Key is empty and Cached false in the response.
-func (s *Server) handleTracedSimulate(w http.ResponseWriter, r *http.Request, req *SimulateRequest, tgt target, cfg config.Config, label string) {
+func (s *Server) handleTracedSimulate(w http.ResponseWriter, r *http.Request, req *SimulateRequest, tgt target, cfg config.Config, label string, escalated bool) {
 	if s.traceDir == "" {
 		writeError(w, http.StatusBadRequest, "tracing is disabled: daemon started without a trace directory")
 		return
@@ -440,13 +507,16 @@ func (s *Server) handleTracedSimulate(w http.ResponseWriter, r *http.Request, re
 	s.traceMu.Lock()
 	s.traces[id] = path
 	s.traceMu.Unlock()
+	s.metrics.countEngine(harness.EngineCycleAccurate, escalated, 0)
 	writeJSON(w, http.StatusOK, SimulateResponse{
-		Workload: tgt.name,
-		Config:   label,
-		WallMS:   wall.Milliseconds(),
-		Version:  version.Stamp(),
-		Result:   res,
-		Trace:    "/v1/traces/" + id,
+		Workload:  tgt.name,
+		Config:    label,
+		WallMS:    wall.Milliseconds(),
+		Version:   version.Stamp(),
+		Result:    res,
+		Trace:     "/v1/traces/" + id,
+		Engine:    harness.EngineCycleAccurate,
+		Escalated: escalated,
 	})
 }
 
@@ -501,6 +571,12 @@ type SweepRequest struct {
 	// SMJobs applies per-SM parallelism to every cell of the sweep (see
 	// SimulateRequest.SMJobs).
 	SMJobs int `json:"sm_jobs,omitempty"`
+	// Engine applies an engine choice to every cell. "auto" makes the
+	// sweep twin-first: only cells whose error bound exceeds Tolerance
+	// occupy the simulator pool.
+	Engine string `json:"engine,omitempty"`
+	// Tolerance is auto's per-cell escalation threshold (0 = default).
+	Tolerance float64 `json:"tolerance,omitempty"`
 }
 
 // SweepCell is one (workload, config) summary. Full statistics for any
@@ -515,6 +591,12 @@ type SweepCell struct {
 	L1HitRate float64 `json:"l1HitRate"`
 	WallMS    int64   `json:"wallMs"`
 	Error     string  `json:"error,omitempty"`
+	// Engine reports which engine produced this cell; Escalated marks
+	// auto-mode cells that fell back to the simulator, and ErrorBound
+	// carries the bound of twin-served cells.
+	Engine     string       `json:"engine,omitempty"`
+	Escalated  bool         `json:"escalated,omitempty"`
+	ErrorBound *twin.Bounds `json:"errorBound,omitempty"`
 }
 
 // SweepResponse is the POST /v1/sweep reply, cells in workload-major
@@ -535,6 +617,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.SMJobs < 0 {
 		writeError(w, http.StatusBadRequest, "sm_jobs must be >= 0, got %d", req.SMJobs)
+		return
+	}
+	eng, tol, err := s.resolveEngine(req.Engine, req.Tolerance)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if eng == harness.EngineTwin && req.LoadStats {
+		writeError(w, http.StatusBadRequest, "engine %q cannot collect load statistics (use %q or %q)",
+			harness.EngineTwin, harness.EngineCycleAccurate, harness.EngineAuto)
 		return
 	}
 	// Validate the whole matrix up front so a typo fails fast with 400
@@ -593,16 +685,24 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			}
 			s.metrics.simStart()
 			t0 := time.Now()
-			res, err := s.runTarget(ctx, in.tgt, in.cfgName, cfg, true, req.LoadStats, harness.RunOpts{SMJobs: req.SMJobs})
+			out, err := s.runTarget(ctx, in.tgt, in.cfgName, cfg, true, req.LoadStats,
+				harness.EngineReq{Engine: eng, Tolerance: tol}, harness.RunOpts{SMJobs: req.SMJobs})
 			wall := time.Since(t0)
 			s.metrics.simEnd(in.cfgName, wall.Seconds())
 			cell.WallMS = wall.Milliseconds()
 			if err != nil {
 				cell.Error = err.Error()
 			} else {
-				cell.Cycles = res.Cycles
-				cell.IPC = res.IPC()
-				cell.L1HitRate = res.Total.L1HitRate()
+				s.metrics.countEngine(out.Engine, out.Escalated, out.Bound.IPCRel)
+				cell.Cycles = out.Result.Cycles
+				cell.IPC = out.Result.IPC()
+				cell.L1HitRate = out.Result.Total.L1HitRate()
+				cell.Engine = out.Engine
+				cell.Escalated = out.Escalated
+				if out.Engine == harness.EngineTwin {
+					b := out.Bound
+					cell.ErrorBound = &b
+				}
 			}
 			cells[i] = cell
 		}(i, in)
@@ -656,6 +756,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("apresd_runner_dedup_waits_total", "Runs that joined an identical in-flight simulation.", rs.DedupWaits)
 	counter("apresd_runner_store_hits_total", "Runs answered from the persistent result store.", rs.StoreHits)
 	counter("apresd_runner_store_errors_total", "Failed persistent-store writes.", rs.StoreErrors)
+	counter("apresd_runner_twin_served_total", "Engine-selected runs answered by the analytical twin.", rs.TwinServed)
+	counter("apresd_runner_twin_escalations_total", "Auto-engine runs escalated to the cycle-accurate simulator.", rs.TwinEscalations)
 	gauge := func(name, help string, v int64) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 	}

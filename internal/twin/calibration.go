@@ -1,0 +1,358 @@
+// Calibration: the analytical model is anchored against the cycle-accurate
+// simulator on the golden matrix (15 workloads x base/apres/ccws configs,
+// the Accel-Sim correlation methodology from PAPERS.md). Three layers:
+//
+//  1. Per-workload anchors, fitted on the base configuration: the ratio of
+//     simulated to modelled cycles (and instruction count, and additive L1/L2
+//     hit-rate offsets) absorbs what the closed-form locality model gets
+//     wrong about one workload, independent of configuration.
+//  2. Per-(config-family, workload-category) gains: a multiplicative
+//     correction on the anchored cycles for apres/ccws-style configurations,
+//     absorbing systematic bias in how strongly the model thinks a scheduler
+//     or prefetcher helps each workload class.
+//  3. Per-family error bounds: the max residual after 1+2, padded, becomes
+//     the prediction's confidence bound — what the auto engine compares
+//     against its tolerance when deciding to escalate.
+//
+// The blessed constants live in calibration.json (go:embed) and are refit by
+// `go test ./internal/twin/ -run TestTwinCorrelation -update-twin`.
+package twin
+
+import (
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"apres/internal/config"
+)
+
+//go:embed calibration.json
+var calibrationJSON []byte
+
+// Config families the calibration distinguishes. Anything else reports
+// FamilyOther and carries an inflated bound.
+const (
+	FamilyBase  = "base"
+	FamilyAPRES = "apres"
+	FamilyCCWS  = "ccws"
+	FamilyOther = "other"
+)
+
+// Family classifies a configuration into a calibration family.
+func Family(cfg *config.Config) string {
+	switch {
+	case cfg.Scheduler == config.SchedLRR && cfg.Prefetcher == config.PrefNone:
+		return FamilyBase
+	case cfg.Scheduler == config.SchedLAWS && cfg.Prefetcher == config.PrefSAP && cfg.APRESCoupling:
+		return FamilyAPRES
+	case cfg.Scheduler == config.SchedCCWS && cfg.Prefetcher == config.PrefNone:
+		return FamilyCCWS
+	default:
+		return FamilyOther
+	}
+}
+
+// Anchor is one workload's base-configuration correction.
+type Anchor struct {
+	// AlphaCycles is simulated/modelled cycles at the base config.
+	AlphaCycles float64 `json:"alphaCycles"`
+	// AlphaInsts is simulated/modelled instruction count (configuration
+	// independent: the instruction stream does not depend on scheduling).
+	AlphaInsts float64 `json:"alphaInsts"`
+	// DeltaL1/DeltaL2 are additive hit-rate offsets (sim - model).
+	DeltaL1 float64 `json:"deltaL1"`
+	DeltaL2 float64 `json:"deltaL2"`
+}
+
+// FamilyCal is one config family's correction and residual bound.
+type FamilyCal struct {
+	// Gain maps workload category -> multiplicative cycle correction
+	// applied on top of the workload anchor.
+	Gain map[string]float64 `json:"gain"`
+	// DeltaL1 maps workload category -> additive L1 hit-rate offset applied
+	// on top of the workload anchor.
+	DeltaL1 map[string]float64 `json:"deltaL1"`
+	// WorkloadDeltaL1 maps workload -> additive L1 hit-rate offset,
+	// preferred over the category-level DeltaL1 for fit-set workloads: how
+	// strongly an adaptive scheduler (CCWS throttling, LAWS+SAP coupling)
+	// shifts the hit rate is a per-workload property, not a per-category one.
+	WorkloadDeltaL1 map[string]float64 `json:"workloadDeltaL1,omitempty"`
+	// BoundIPC is the relative IPC error bound (max residual, padded).
+	BoundIPC float64 `json:"boundIPC"`
+	// BoundL1 is the absolute L1 hit-rate error bound.
+	BoundL1 float64 `json:"boundL1"`
+}
+
+// Calibration is the full blessed constant set.
+type Calibration struct {
+	Version int `json:"version"`
+	// Scale is the workload iteration scale the constants were fitted at.
+	Scale float64 `json:"scale"`
+	// DefaultTolerance is the auto engine's escalation threshold on the
+	// relative IPC bound when the caller does not specify one.
+	DefaultTolerance float64              `json:"defaultTolerance"`
+	Anchors          map[string]Anchor    `json:"anchors"`
+	Families         map[string]FamilyCal `json:"families"`
+	// MAPE records the fit quality over the golden matrix (ipc = mean
+	// absolute relative IPC error, l1 = mean absolute L1 hit-rate error in
+	// percentage points / 100). Informational; the CI gate re-measures.
+	MAPE map[string]float64 `json:"mape"`
+}
+
+// DefaultCalibration returns the embedded blessed constants.
+func DefaultCalibration() *Calibration {
+	c, err := ParseCalibration(calibrationJSON)
+	if err != nil {
+		// The embedded file ships with the source; failing to parse it is
+		// a build defect, not a runtime condition.
+		panic(fmt.Sprintf("twin: embedded calibration.json: %v", err))
+	}
+	return c
+}
+
+// ParseCalibration decodes a calibration constant set.
+func ParseCalibration(data []byte) (*Calibration, error) {
+	var c Calibration
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("twin: parse calibration: %w", err)
+	}
+	if c.DefaultTolerance <= 0 {
+		return nil, fmt.Errorf("twin: calibration has no default tolerance")
+	}
+	return &c, nil
+}
+
+// Encode renders the calibration as deterministic, diffable JSON.
+func (c *Calibration) Encode() ([]byte, error) {
+	return json.MarshalIndent(c, "", "  ")
+}
+
+// Observation is one golden-matrix cell: the simulator's ground truth next
+// to the raw (uncalibrated) model output for the same (workload, config).
+type Observation struct {
+	Workload string
+	Category string
+	Family   string
+
+	SimCycles, SimInsts     float64
+	SimL1Hit, SimL2Hit      float64
+	ModelCycles, ModelInsts float64
+	ModelL1Hit, ModelL2Hit  float64
+}
+
+// boundPad widens fitted residual bounds so calibration-set maxima remain
+// honest on nearby off-matrix queries.
+const boundPad = 1.25
+
+// minBound keeps bounds (and therefore escalation behaviour) non-degenerate
+// even for the in-sample base family.
+const (
+	minBoundIPC = 0.02
+	minBoundL1  = 0.01
+)
+
+// Fit computes a calibration from golden-matrix observations. Base-family
+// observations define the per-workload anchors; every other family gets
+// per-category gains and a residual bound.
+func Fit(obs []Observation, scale float64) (*Calibration, error) {
+	cal := &Calibration{
+		Version:  1,
+		Scale:    scale,
+		Anchors:  map[string]Anchor{},
+		Families: map[string]FamilyCal{},
+		MAPE:     map[string]float64{},
+	}
+	for _, o := range obs {
+		if o.Family != FamilyBase {
+			continue
+		}
+		if o.ModelCycles <= 0 || o.ModelInsts <= 0 || o.SimCycles <= 0 {
+			return nil, fmt.Errorf("twin: degenerate base observation for %s", o.Workload)
+		}
+		cal.Anchors[o.Workload] = Anchor{
+			AlphaCycles: o.SimCycles / o.ModelCycles,
+			AlphaInsts:  o.SimInsts / o.ModelInsts,
+			DeltaL1:     o.SimL1Hit - o.ModelL1Hit,
+			DeltaL2:     o.SimL2Hit - o.ModelL2Hit,
+		}
+	}
+	if len(cal.Anchors) == 0 {
+		return nil, fmt.Errorf("twin: no base-family observations to anchor on")
+	}
+
+	// Per-(family, category) gains: geometric mean of the post-anchor cycle
+	// residuals, arithmetic mean of the post-anchor L1 offsets.
+	type acc struct {
+		logGain, dL1 float64
+		n            float64
+	}
+	fams := map[string]map[string]*acc{}
+	famWL := map[string]map[string]float64{}
+	for _, o := range obs {
+		a, ok := cal.Anchors[o.Workload]
+		if !ok || o.Family == FamilyBase {
+			continue
+		}
+		f := fams[o.Family]
+		if f == nil {
+			f = map[string]*acc{}
+			fams[o.Family] = f
+			famWL[o.Family] = map[string]float64{}
+		}
+		g := f[o.Category]
+		if g == nil {
+			g = &acc{}
+			f[o.Category] = g
+		}
+		anchored := o.ModelCycles * a.AlphaCycles
+		dL1 := o.SimL1Hit - (o.ModelL1Hit + a.DeltaL1)
+		g.logGain += math.Log(o.SimCycles / anchored)
+		g.dL1 += dL1
+		g.n++
+		famWL[o.Family][o.Workload] = dL1
+	}
+	for fam, cats := range fams {
+		fc := FamilyCal{
+			Gain:            map[string]float64{},
+			DeltaL1:         map[string]float64{},
+			WorkloadDeltaL1: famWL[fam],
+		}
+		for cat, g := range cats {
+			fc.Gain[cat] = math.Exp(g.logGain / g.n)
+			fc.DeltaL1[cat] = g.dL1 / g.n
+		}
+		cal.Families[fam] = fc
+	}
+	// The base family is in-sample by construction.
+	cal.Families[FamilyBase] = FamilyCal{
+		Gain:     map[string]float64{},
+		DeltaL1:  map[string]float64{},
+		BoundIPC: minBoundIPC,
+		BoundL1:  minBoundL1,
+	}
+
+	// Residual bounds + fit-quality summary, measured with the calibration
+	// just built.
+	var sumIPC, sumL1 float64
+	perFam := map[string]*struct{ maxIPC, maxL1 float64 }{}
+	for _, o := range obs {
+		predCycles, predInsts, predL1, _ := cal.apply(o.Workload, o.Category, o.Family,
+			o.ModelCycles, o.ModelInsts, o.ModelL1Hit, o.ModelL2Hit)
+		ipcErr := math.Abs(predInsts/predCycles/(o.SimInsts/o.SimCycles) - 1)
+		l1Err := math.Abs(predL1 - o.SimL1Hit)
+		sumIPC += ipcErr
+		sumL1 += l1Err
+		pf := perFam[o.Family]
+		if pf == nil {
+			pf = &struct{ maxIPC, maxL1 float64 }{}
+			perFam[o.Family] = pf
+		}
+		pf.maxIPC = math.Max(pf.maxIPC, ipcErr)
+		pf.maxL1 = math.Max(pf.maxL1, l1Err)
+	}
+	for fam, pf := range perFam {
+		fc := cal.Families[fam]
+		fc.BoundIPC = math.Max(minBoundIPC, pf.maxIPC*boundPad)
+		fc.BoundL1 = math.Max(minBoundL1, pf.maxL1*boundPad)
+		cal.Families[fam] = fc
+	}
+	if n := float64(len(obs)); n > 0 {
+		cal.MAPE["ipc"] = sumIPC / n
+		cal.MAPE["l1"] = sumL1 / n
+	}
+
+	// Default tolerance: sit just above the second-loosest family's
+	// effective bound — an auto-mode golden sweep serves every family but
+	// the worst-modelled one from the twin, and that one still gets exact
+	// answers. The effective bound folds the L1 dimension in at the 3:1
+	// IPC:L1 ratio Bounds.Exceeds applies.
+	var bounds []float64
+	for _, fc := range cal.Families {
+		bounds = append(bounds, math.Max(fc.BoundIPC, 3*fc.BoundL1))
+	}
+	sort.Float64s(bounds)
+	switch {
+	case len(bounds) >= 2:
+		cal.DefaultTolerance = bounds[len(bounds)-2] * 1.05
+	case len(bounds) == 1:
+		cal.DefaultTolerance = bounds[0] * 1.05
+	default:
+		cal.DefaultTolerance = 0.15
+	}
+	return cal, nil
+}
+
+// apply runs the calibration corrections on raw model output, returning
+// calibrated (cycles, insts, l1Hit, l2Hit).
+func (c *Calibration) apply(workload, category, family string, cycles, insts, l1, l2 float64) (float64, float64, float64, float64) {
+	if a, ok := c.Anchors[workload]; ok {
+		cycles *= a.AlphaCycles
+		insts *= a.AlphaInsts
+		l1 = clamp(l1+a.DeltaL1, 0, 1)
+		l2 = clamp(l2+a.DeltaL2, 0, 1)
+	}
+	if fc, ok := c.Families[family]; ok {
+		if g, ok := fc.Gain[category]; ok && g > 0 {
+			cycles *= g
+		}
+		if d, ok := fc.WorkloadDeltaL1[workload]; ok {
+			l1 = clamp(l1+d, 0, 1)
+		} else if d, ok := fc.DeltaL1[category]; ok {
+			l1 = clamp(l1+d, 0, 1)
+		}
+	}
+	return cycles, insts, l1, l2
+}
+
+// bounds returns the (IPC-relative, L1-absolute) error bound for a
+// prediction, inflating it when the query leaves calibrated territory:
+// unanchored workloads, uncalibrated config families, and cache/memory
+// geometry away from the reference Table III machine.
+func (c *Calibration) bounds(anchored bool, family string, cfg *config.Config) (float64, float64) {
+	fc, ok := c.Families[family]
+	if !ok {
+		// Uncalibrated family: start from the loosest known family.
+		for _, f := range c.Families {
+			if f.BoundIPC > fc.BoundIPC {
+				fc = f
+			}
+		}
+		fc.BoundIPC *= 2
+		fc.BoundL1 *= 2
+		ok = fc.BoundIPC > 0
+	}
+	bIPC, bL1 := fc.BoundIPC, fc.BoundL1
+	if !ok {
+		bIPC, bL1 = 0.5, 0.25
+	}
+	if !anchored {
+		bIPC = math.Max(bIPC*2, 0.30)
+		bL1 = math.Max(bL1*2, 0.15)
+	}
+	if geometryOffReference(cfg) {
+		bIPC *= 1.5
+		bL1 *= 1.5
+	}
+	return clamp(bIPC, minBoundIPC, 4), clamp(bL1, minBoundL1, 1)
+}
+
+// geometryOffReference reports whether cfg's machine geometry differs from
+// the Table III reference the calibration was fitted on.
+func geometryOffReference(cfg *config.Config) bool {
+	ref := config.Baseline()
+	return cfg.NumSMs != ref.NumSMs ||
+		cfg.WarpsPerSM != ref.WarpsPerSM ||
+		cfg.PipelineDepth != ref.PipelineDepth ||
+		cfg.L1SizeBytes != ref.L1SizeBytes ||
+		cfg.L1Ways != ref.L1Ways ||
+		cfg.L1MSHRs != ref.L1MSHRs ||
+		cfg.L1HitLatency != ref.L1HitLatency ||
+		cfg.L2SizeBytes != ref.L2SizeBytes ||
+		cfg.L2Latency != ref.L2Latency ||
+		cfg.DRAMPartitions != ref.DRAMPartitions ||
+		cfg.DRAMLatency != ref.DRAMLatency ||
+		cfg.DRAMServiceInterval != ref.DRAMServiceInterval ||
+		cfg.NoCBytesPerCycle != ref.NoCBytesPerCycle
+}

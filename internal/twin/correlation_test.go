@@ -1,0 +1,202 @@
+// Correlation study: the analytical twin against the cycle-accurate
+// simulator over the golden matrix (15 workloads x base/apres/ccws at scale
+// 0.25), following the Accel-Sim correlation methodology. Without flags it
+// is the CI gate: the embedded calibration must keep MAPE under the blessed
+// thresholds and every residual inside its advertised error bound. With
+// -update-twin it refits calibration.json from the current simulator.
+//
+// External test package on purpose: it imports harness (which itself
+// imports twin), so it must not live inside package twin.
+package twin_test
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+	"testing"
+
+	"apres/internal/harness"
+	"apres/internal/twin"
+	"apres/internal/workloads"
+)
+
+var updateTwin = flag.Bool("update-twin", false,
+	"refit internal/twin/calibration.json from the current simulator over the golden matrix")
+
+const (
+	// goldenScale is the iteration scale the calibration is fitted at.
+	goldenScale = 0.25
+	// Gate thresholds: mean absolute relative IPC error and mean absolute
+	// L1 hit-rate error (in fractional points) over the golden matrix.
+	maxMAPEIPC = 0.15
+	maxMAEL1   = 0.05
+)
+
+// goldenFamilies are the config families of the correlation matrix.
+var goldenFamilies = []string{"base", "apres", "ccws"}
+
+// collectObservations simulates the golden matrix and pairs each cell with
+// the raw (uncalibrated) model output.
+func collectObservations(t *testing.T) []twin.Observation {
+	t.Helper()
+	r := harness.NewRunner(goldenScale, 0)
+	model := twin.New()
+
+	type cell struct {
+		w   workloads.Workload
+		cfg string
+	}
+	var cells []cell
+	for _, w := range workloads.All() {
+		for _, cfg := range goldenFamilies {
+			cells = append(cells, cell{w, cfg})
+		}
+	}
+	obs := make([]twin.Observation, len(cells))
+	errs := make([]error, len(cells))
+	var wg sync.WaitGroup
+	for i, c := range cells {
+		wg.Add(1)
+		go func(i int, c cell) {
+			defer wg.Done()
+			res, err := r.Run(c.w.Name(), c.cfg)
+			if err != nil {
+				errs[i] = fmt.Errorf("%s/%s: %w", c.w.Name(), c.cfg, err)
+				return
+			}
+			cfg, err := harness.NamedConfig(c.cfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			sw := c.w
+			sw.Kernel = sw.Kernel.Scaled(goldenScale)
+			mc, mi, ml1, ml2 := model.RawEvaluate(c.w.Name(), sw, cfg)
+			var simL2 float64
+			if res.Total.L2Accesses > 0 {
+				simL2 = float64(res.Total.GPUL2Hits) / float64(res.Total.L2Accesses)
+			}
+			obs[i] = twin.Observation{
+				Workload:    c.w.Name(),
+				Category:    c.w.Category.String(),
+				Family:      twin.Family(&cfg),
+				SimCycles:   float64(res.Cycles),
+				SimInsts:    float64(res.Total.Instructions),
+				SimL1Hit:    res.Total.L1HitRate(),
+				SimL2Hit:    simL2,
+				ModelCycles: mc,
+				ModelInsts:  mi,
+				ModelL1Hit:  ml1,
+				ModelL2Hit:  ml2,
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return obs
+}
+
+// TestTwinCorrelation is the correlation gate (and, with -update-twin, the
+// calibration re-blessing procedure — see EXPERIMENTS.md).
+func TestTwinCorrelation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("correlation study simulates the full golden matrix")
+	}
+	obs := collectObservations(t)
+
+	cal := twin.DefaultCalibration()
+	if *updateTwin {
+		fitted, err := twin.Fit(obs, goldenScale)
+		if err != nil {
+			t.Fatalf("fit: %v", err)
+		}
+		data, err := fitted.Encode()
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		if err := os.WriteFile("calibration.json", append(data, '\n'), 0o644); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		t.Logf("re-blessed calibration.json: MAPE ipc=%.4f l1=%.4f tolerance=%.4f",
+			fitted.MAPE["ipc"], fitted.MAPE["l1"], fitted.DefaultTolerance)
+		cal = fitted
+	}
+
+	model := twin.NewWithCalibration(cal)
+	var sumIPC, sumL1, worstIPC float64
+	var worst string
+	served := 0
+	for _, o := range obs {
+		w, ok := workloads.ByName(o.Workload)
+		if !ok {
+			t.Fatalf("unknown workload %s", o.Workload)
+		}
+		w.Kernel = w.Kernel.Scaled(goldenScale)
+		cfg, err := harness.NamedConfig(configOfFamily(o.Family))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := model.Predict(o.Workload, w, cfg)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", o.Workload, o.Family, err)
+		}
+		simIPC := o.SimInsts / o.SimCycles
+		ipcErr := math.Abs(p.IPC/simIPC - 1)
+		l1Err := math.Abs(p.L1HitRate - o.SimL1Hit)
+		sumIPC += ipcErr
+		sumL1 += l1Err
+		if ipcErr > worstIPC {
+			worstIPC = ipcErr
+			worst = o.Workload + "/" + o.Family
+		}
+		if testing.Verbose() && (ipcErr > 0.10 || l1Err > 0.05) {
+			t.Logf("  residual %-6s %-5s ipc %+.3f (sim %.3f model %.3f) l1 %+.3f (sim %.3f model %.3f)",
+				o.Workload, o.Family, p.IPC/simIPC-1, simIPC, p.IPC, p.L1HitRate-o.SimL1Hit, o.SimL1Hit, p.L1HitRate)
+		}
+		// Honesty: every golden-matrix residual must sit inside the
+		// advertised per-prediction bound.
+		if ipcErr > p.Bounds.IPCRel {
+			t.Errorf("%s/%s: IPC residual %.4f exceeds advertised bound %.4f",
+				o.Workload, o.Family, ipcErr, p.Bounds.IPCRel)
+		}
+		if l1Err > p.Bounds.L1HitAbs {
+			t.Errorf("%s/%s: L1 residual %.4f exceeds advertised bound %.4f",
+				o.Workload, o.Family, l1Err, p.Bounds.L1HitAbs)
+		}
+		if !p.Bounds.Exceeds(cal.DefaultTolerance) {
+			served++
+		}
+	}
+	n := float64(len(obs))
+	mapeIPC, maeL1 := sumIPC/n, sumL1/n
+	t.Logf("golden matrix: %d cells, MAPE ipc=%.4f (worst %.4f at %s), MAE l1=%.4f, twin-served at default tolerance %d/%d",
+		len(obs), mapeIPC, worstIPC, worst, maeL1, served, len(obs))
+	if mapeIPC > maxMAPEIPC {
+		t.Errorf("IPC MAPE %.4f exceeds gate %.2f", mapeIPC, maxMAPEIPC)
+	}
+	if maeL1 > maxMAEL1 {
+		t.Errorf("L1 MAE %.4f exceeds gate %.2f", maeL1, maxMAEL1)
+	}
+	// The auto engine must keep a golden-matrix sweep mostly analytical.
+	if served*2 < len(obs) {
+		t.Errorf("only %d/%d cells twin-served at the default tolerance; want >= half", served, len(obs))
+	}
+}
+
+// configOfFamily maps a calibration family back to its named config.
+func configOfFamily(family string) string {
+	switch family {
+	case "apres":
+		return "apres"
+	case "ccws":
+		return "ccws"
+	default:
+		return "base"
+	}
+}

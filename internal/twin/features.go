@@ -1,0 +1,350 @@
+// Feature extraction: reduce a kernel's per-load address patterns to the
+// closed-form locality statistics the analytical model consumes. This is the
+// twin-side mirror of the paper's Table I characterisation — inter-warp
+// stride, lines per access (coalescing), working-set footprint, reuse window
+// — computed from the Pattern parameters instead of by running the
+// simulator. Extraction is config-independent (capacity, warp count and
+// scheduler effects are applied later in model.go), so features are computed
+// once per (workload, scale) and memoised.
+package twin
+
+import (
+	"math"
+
+	"apres/internal/kernel"
+)
+
+// reuse window kinds: how the distance between successive touches of a line
+// scales, which decides how schedulers move it.
+const (
+	wsNone       = iota // no reuse: pure stream
+	wsRound             // within one warp round (inter-warp sharing / overlap)
+	wsIterPeriod        // after a fixed number of iterations (block rescans)
+	wsFootprint         // random collision over the whole footprint
+)
+
+// loadFeat is one static memory instruction's locality profile.
+type loadFeat struct {
+	store  bool
+	lambda float64 // cache lines per warp access (coalescing degree)
+
+	refs      float64 // line requests per SM over the phase
+	uniqLines float64 // unique lines touched per SM over the phase
+	hmax      float64 // 1 - uniq/refs: hit ceiling with infinite cache
+
+	wsKind    int     // reuse window kind (wsNone etc.)
+	wsIters   float64 // window length in warp-round iterations (wsRound/wsIterPeriod)
+	footBytes float64 // per-SM footprint in bytes
+	latLines  int64   // offset-lattice step in lines (0 = dense): conflict model
+	scanLike  bool    // sequential rescans (LRU worst case) vs random reuse
+
+	regular   bool    // inter-warp stride is SAP/STR predictable
+	strideAbs float64 // |inter-warp stride| in bytes
+	smShared  bool    // SMStride == 0: all SMs read the same data
+	shareMany bool    // warp-invariant address (WarpShare >= warp count)
+}
+
+// phaseFeat summarises one program phase.
+type phaseFeat struct {
+	iters      float64 // scaled iteration count
+	issues     float64 // expected issue slots per warp-iteration (jitter mean)
+	deepIssues float64 // issues paying PipelineDepth (mem ops + loads' first use)
+	jitterFrac float64 // jittered share of issues (warp desynchronisation)
+	sharedOps  float64 // scratchpad accesses per warp-iteration
+	loads      []loadFeat
+	lsuLines   float64 // line requests per warp-iteration (LSU occupancy)
+}
+
+// kernelFeatures is the full config-independent workload profile.
+type kernelFeatures struct {
+	phases   []phaseFeat
+	launches float64 // logical warps launched per SM
+	warps    float64 // kernel's concurrent warps per SM (pre-config cap)
+}
+
+func extractFeatures(k kernel.Kernel) *kernelFeatures {
+	kf := &kernelFeatures{
+		launches: float64(k.TotalLaunches()),
+		warps:    float64(k.WarpsPerSM),
+	}
+	for ph := 0; ph < k.Program.NumPhases(); ph++ {
+		body, iters := k.Program.PhaseAt(ph)
+		kf.phases = append(kf.phases, extractPhase(body, iters, kf.launches, kf.warps))
+	}
+	return kf
+}
+
+func extractPhase(body []kernel.Inst, iters int, launches, warps float64) phaseFeat {
+	pf := phaseFeat{iters: float64(iters)}
+	var jitter float64
+	for _, in := range body {
+		rep := float64(in.Repeat)
+		if rep <= 0 {
+			rep = 1
+		}
+		exp := rep + float64(in.RepeatJitter)/2
+		pf.issues += exp
+		jitter += float64(in.RepeatJitter) / 2
+		switch in.Op {
+		case kernel.OpShared:
+			pf.sharedOps += exp
+		case kernel.OpLoad, kernel.OpStore:
+			pf.deepIssues += exp
+			lf := extractLoad(in, float64(iters), launches, warps)
+			pf.loads = append(pf.loads, lf)
+			pf.lsuLines += lf.lambda * exp
+		default:
+			if in.DependsOnMem {
+				pf.deepIssues += exp
+			}
+		}
+	}
+	if pf.issues > 0 {
+		pf.jitterFrac = jitter / pf.issues
+	}
+	return pf
+}
+
+// extractLoad derives one pattern's locality profile. n is the phase's
+// scaled iteration count, launches the logical warps per SM.
+func extractLoad(in kernel.Inst, n, launches, warps float64) loadFeat {
+	p := in.Pattern
+	lf := loadFeat{
+		store:    in.Op == kernel.OpStore,
+		smShared: p.SMStride == 0,
+	}
+	if p.Table != nil {
+		return extractTableLoad(in, n, launches)
+	}
+
+	// Coalescing degree: the 32 lanes span 32*LaneStride bytes (LaneRandom
+	// scatters them over the whole wrap region).
+	switch {
+	case p.LaneRandom:
+		lf.lambda = 32
+		if lines := float64(p.WrapBytes) / lineBytes; lines > 0 && lines < 32 {
+			lf.lambda = lines
+		}
+	case p.LaneStride > 0:
+		lf.lambda = clamp(math.Ceil(32*float64(p.LaneStride)/lineBytes), 1, 32)
+	default:
+		lf.lambda = 1
+	}
+	span := lf.lambda * lineBytes
+
+	gShare := 1.0
+	if p.WarpShare > 1 {
+		gShare = float64(p.WarpShare)
+	}
+	groups := math.Ceil(launches / gShare) // distinct address streams over the kernel's life
+	lf.shareMany = gShare >= warps
+	lf.refs = launches * n * lf.lambda
+
+	if p.Random {
+		extractRandom(&lf, p, n, groups, span)
+		return lf
+	}
+	extractLinear(&lf, p, n, groups, warps/gShare, span)
+	return lf
+}
+
+// extractRandom: the warp/iter offset is drawn uniformly (128 B aligned)
+// from WrapBytes. Reuse comes either from warp groups redrawing the same
+// per-iteration address (inter-warp sharing) or from collisions over the
+// footprint.
+func extractRandom(lf *loadFeat, p kernel.Pattern, n, groups, span float64) {
+	foot := float64(p.WrapBytes)
+	if foot <= 0 {
+		foot = span
+	}
+	lf.footBytes = foot + span
+	footLines := math.Max(1, foot/lineBytes)
+
+	// Expected unique lines after draws covering lambda lines each
+	// (occupancy of a balls-into-bins process).
+	draws := groups * n * lf.lambda
+	lf.uniqLines = footLines * (1 - math.Exp(-draws/footLines))
+	lf.hmax = hitCeiling(lf.refs, lf.uniqLines)
+
+	if lf.shareMany || groups*2 <= lf.refs/lf.lambda/n {
+		// Warp groups share each draw: the reuse window is the spread of
+		// one warp round.
+		lf.wsKind = wsRound
+		lf.wsIters = 1
+	} else {
+		// Distinct draws per warp: only footprint residency yields hits.
+		lf.wsKind = wsFootprint
+	}
+}
+
+// extractLinear handles the warp*WarpStride + iter*IterStride family,
+// including iteration wrap (private block rescans), region wrap (cyclic
+// sweeps) and cross-warp diagonal aliasing.
+func extractLinear(lf *loadFeat, p kernel.Pattern, n, groups, activeGroups, span float64) {
+	ws := math.Abs(float64(p.WarpStride))
+	is := math.Abs(float64(p.IterStride))
+	lf.strideAbs = float64(p.WarpStride)
+	if lf.strideAbs < 0 {
+		lf.strideAbs = -lf.strideAbs
+	}
+	lf.regular = p.WarpStride != 0 && p.WarpShare <= 1
+
+	// Per-warp span over the phase (how far one address stream travels).
+	perWarp := is*(n-1) + span
+	if p.IterWrapBytes > 0 && float64(p.IterWrapBytes) < perWarp {
+		perWarp = float64(p.IterWrapBytes)
+	}
+
+	// Envelope across warps, capped by the wrap region.
+	envelope := ws*(groups-1) + perWarp
+	if p.WrapBytes > 0 && float64(p.WrapBytes) < envelope {
+		envelope = float64(p.WrapBytes) + span
+	}
+
+	// Unique lines: the pattern's offsets live on the lattice spanned by
+	// the stride terms, so a sparse stride touches far fewer lines than the
+	// envelope contains.
+	lat := latticeStep(p)
+	positions := envelope
+	if lat > 0 {
+		positions = envelope / lat
+	}
+	uniq := math.Min(envelope/lineBytes, positions*lf.lambda)
+	lf.uniqLines = math.Max(1, uniq)
+	lf.footBytes = math.Max(lf.uniqLines*lineBytes, span)
+	lf.hmax = hitCeiling(lf.refs, lf.uniqLines)
+	lf.latLines = int64(lat / lineBytes)
+
+	// Candidate reuse windows; keep the shortest one that applies.
+	best := math.Inf(1)
+	scan := false
+	if p.IterWrapBytes > 0 && is > 0 {
+		if period := float64(p.IterWrapBytes) / is; period <= n {
+			best, scan = period, true
+		}
+	}
+	if is == 0 {
+		best, scan = 1, false // same address every iteration
+	} else if is < span {
+		// Consecutive iterations overlap (the access advances by less than
+		// its own span).
+		if 1 < best {
+			best, scan = 1, false
+		}
+	}
+	if ws > 0 && is > 0 {
+		// Diagonal aliasing: warp w+dw at iter i-di touches warp w's line
+		// when dw*WarpStride == di*IterStride.
+		g := gcd64(int64(ws), int64(is))
+		di := ws / float64(g)
+		dw := is / float64(g)
+		if dw < activeGroups && di <= n && di < best {
+			best, scan = di, false
+		}
+	}
+	if p.WrapBytes > 0 && is > 0 {
+		if period := float64(p.WrapBytes) / is; period <= n && period < best {
+			best, scan = period, true
+		}
+	}
+	switch {
+	case math.IsInf(best, 1):
+		lf.wsKind = wsNone
+	case best <= 1:
+		lf.wsKind = wsRound
+		lf.wsIters = 1
+		lf.scanLike = scan
+	default:
+		lf.wsKind = wsIterPeriod
+		lf.wsIters = best
+		lf.scanLike = scan
+	}
+}
+
+// latticeStep returns the byte granularity of the pattern's offset lattice
+// (the gcd of all stride terms), or 0 when the pattern is dense.
+func latticeStep(p kernel.Pattern) float64 {
+	g := int64(0)
+	for _, s := range []int64{p.WarpStride, p.IterStride, p.IterWrapBytes, p.WrapBytes} {
+		if s < 0 {
+			s = -s
+		}
+		if s != 0 {
+			g = gcd64(g, s)
+		}
+	}
+	return float64(g)
+}
+
+func extractTableLoad(in kernel.Inst, n, launches float64) loadFeat {
+	t := in.Pattern.Table
+	lf := loadFeat{
+		store:    in.Op == kernel.OpStore,
+		smShared: in.Pattern.SMStride == 0,
+	}
+	// Sample the recorded stream (bounded so extraction stays cheap) to
+	// estimate coalescing and the unique-line footprint.
+	total := len(t.Addrs)
+	step := 1
+	const maxSamples = 4096
+	if total > maxSamples {
+		step = total / maxSamples
+	}
+	seen := make(map[int64]struct{}, maxSamples)
+	var lambdaSum float64
+	var samples float64
+	for i := 0; i < total; i += step {
+		lines := math.Max(1, math.Ceil(float64(t.Sizes[i])/lineBytes))
+		lambdaSum += lines
+		first := int64(t.Addrs[i]) / lineBytes
+		for l := int64(0); l < int64(lines); l++ {
+			seen[first+l] = struct{}{}
+		}
+		samples++
+	}
+	if samples == 0 {
+		lf.lambda = 1
+		lf.refs = launches * n
+		lf.uniqLines = lf.refs
+		return lf
+	}
+	lf.lambda = lambdaSum / samples
+	lf.refs = launches * n * lf.lambda
+	// Scale sampled uniques back up to the full stream, capped by refs.
+	uniq := math.Min(float64(len(seen))*float64(step), lf.refs)
+	lf.uniqLines = math.Max(1, uniq)
+	lf.footBytes = lf.uniqLines * lineBytes
+	lf.hmax = hitCeiling(lf.refs, lf.uniqLines)
+	if lf.hmax > 0 {
+		// Replayed reuse with unknown timing: assume footprint residency.
+		lf.wsKind = wsFootprint
+	}
+	return lf
+}
+
+func hitCeiling(refs, uniq float64) float64 {
+	if refs <= 0 {
+		return 0
+	}
+	return clamp(1-uniq/refs, 0, 1)
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

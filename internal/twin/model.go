@@ -1,0 +1,478 @@
+// The analytical core: an interval-style model that turns the extracted
+// load features plus a config.Config into predicted cycles, hit rates and
+// bandwidth pressure. The structure follows the classic interval/roofline
+// decomposition used by analytical GPU models (see PAPERS.md, Accel-Sim and
+// the MSHR/bandwidth-bottleneck line of work): per-warp pass latency from
+// issue costs and exposed memory latency, SM throughput as the minimum of
+// issue-, LSU-, MSHR-, NoC- and DRAM-imposed rates, and cache hit rates from
+// per-load reuse windows compared against the capacity the load can actually
+// use (set-conflict corrected). Scheduler and prefetcher variants perturb the
+// reuse windows and coverage terms the way LAWS/SAP/CCWS/... perturb the
+// real machine.
+package twin
+
+import (
+	"math"
+
+	"apres/internal/config"
+)
+
+const lineBytes = 128
+
+// Model tuning constants. These are structural priors, not per-workload
+// fits: workload anchoring and per-family gains live in calibration.go.
+const (
+	// spreadBase is the average fraction of a warp round that separates two
+	// warps touching the same line under round-robin issue.
+	spreadBase = 0.6
+	// spreadJitterK scales how much repeat jitter widens the reuse window.
+	spreadJitterK = 2.0
+	// cliffExp is the retention exponent for scan-like (LRU-hostile) reuse.
+	cliffExp = 2.0
+	// queueK scales the DRAM queueing delay term.
+	queueK = 0.9
+	// ccwsEfficiency is how much of the oracle throttling win CCWS realises.
+	ccwsEfficiency = 0.7
+	// pfWaste is the fraction of issued prefetches that fetch lines never
+	// demanded (stride mispredictions under jitter).
+	pfWaste = 0.15
+	// couplSpread is the prefetch-to-use window compression when the
+	// LAWS<->SAP coupling times prefetches to warp-group scheduling.
+	couplSpread = 0.35
+	// fixedPointIters bounds the throughput/queueing fixed point.
+	fixedPointIters = 8
+)
+
+// schedTraits captures how a scheduler reshapes reuse windows.
+type schedTraits struct {
+	roundSpread  float64 // multiplier on warp-round reuse windows
+	iterCompress float64 // multiplier on iteration-period reuse windows
+	ccws         bool    // candidate-W throttling search
+	mascar       bool    // memory-saturation reordering
+}
+
+func traitsFor(cfg *config.Config) schedTraits {
+	switch cfg.Scheduler {
+	case config.SchedGTO:
+		return schedTraits{roundSpread: 0.80, iterCompress: 0.70}
+	case config.SchedTwoLevel:
+		return schedTraits{roundSpread: 0.55, iterCompress: 0.80}
+	case config.SchedCCWS:
+		return schedTraits{roundSpread: 0.80, iterCompress: 0.70, ccws: true}
+	case config.SchedMASCAR:
+		return schedTraits{roundSpread: 0.85, iterCompress: 0.80, mascar: true}
+	case config.SchedPA:
+		return schedTraits{roundSpread: 0.70, iterCompress: 0.85}
+	case config.SchedLAWS:
+		t := schedTraits{roundSpread: 0.45, iterCompress: 0.80}
+		if cfg.LAWSTailDemotion {
+			t.roundSpread *= 0.9
+		}
+		return t
+	default: // SchedLRR
+		return schedTraits{roundSpread: 1.0, iterCompress: 1.0}
+	}
+}
+
+// rawOut is one un-anchored model evaluation over the whole kernel.
+type rawOut struct {
+	cycles float64
+	insts  float64 // GPU-wide issued instructions (expected)
+
+	l1Acc, l1Hit, l1Cold                   float64
+	l2Acc, l2Hit                           float64
+	dramAcc                                float64
+	dramUtil                               float64 // peak phase utilisation
+	queueDelay                             float64 // cycles beyond minimum DRAM latency
+	missLatSum, missLatCount               float64
+	pfIssued, pfUseful, pfEarly, pfUseless float64
+	bytesToSM, bytesFromDRAM               float64
+	sharedAcc                              float64
+	issueStalls                            float64
+}
+
+func (o *rawOut) ipc() float64 {
+	if o.cycles <= 0 {
+		return 0
+	}
+	return o.insts / o.cycles
+}
+
+func (o *rawOut) l1HitRate() float64 {
+	if o.l1Acc <= 0 {
+		return 0
+	}
+	return o.l1Hit / o.l1Acc
+}
+
+func (o *rawOut) l2HitRate() float64 {
+	if o.l2Acc <= 0 {
+		return 0
+	}
+	return o.l2Hit / o.l2Acc
+}
+
+// evaluate runs the analytical pipeline for one kernel profile under cfg.
+func evaluate(kf *kernelFeatures, cfg *config.Config) rawOut {
+	tr := traitsFor(cfg)
+	w := math.Min(kf.warps, float64(cfg.WarpsPerSM))
+
+	var out rawOut
+	for i := range kf.phases {
+		pf := &kf.phases[i]
+		po := evalPhase(kf, pf, cfg, tr, w)
+		if tr.ccws && len(pf.loads) > 0 {
+			// CCWS throttles the active warp count when shrinking the
+			// round window converts thrashing reuse into hits. Model the
+			// mechanism as a bounded search over candidate warp counts,
+			// discounted because the scoring feedback loop is not an
+			// oracle.
+			best := po
+			for _, cand := range []float64{w * 0.75, w * 0.5, w * 0.375, w * 0.25, 8, 6} {
+				if cand >= w || cand < 2 {
+					continue
+				}
+				alt := evalPhase(kf, pf, cfg, tr, math.Floor(cand))
+				if alt.ipcSM > best.ipcSM {
+					best = alt
+				}
+			}
+			if best.ipcSM > po.ipcSM {
+				po = blendPhase(po, best, ccwsEfficiency)
+			}
+		}
+		accumulate(&out, po, cfg)
+	}
+	return out
+}
+
+// phaseOut is one phase's evaluation at a fixed active warp count.
+type phaseOut struct {
+	ipcSM    float64 // issue slots per cycle per SM
+	cycles   float64 // phase duration
+	insts    float64 // GPU-wide instructions
+	dramUtil float64
+	queue    float64
+
+	l1Acc, l1Hit, l1Cold                   float64 // per SM
+	l2Acc, l2Hit                           float64 // per SM (GPU totals applied later)
+	missLatSum, missLatCount               float64
+	pfIssued, pfUseful, pfEarly, pfUseless float64
+	sharedAcc                              float64
+}
+
+// blendPhase interpolates between the untouched and throttled evaluations
+// (CCWS realises only part of the oracle win).
+func blendPhase(base, best phaseOut, k float64) phaseOut {
+	mix := func(a, b float64) float64 { return a + k*(b-a) }
+	out := base
+	out.ipcSM = mix(base.ipcSM, best.ipcSM)
+	out.cycles = mix(base.cycles, best.cycles)
+	out.dramUtil = mix(base.dramUtil, best.dramUtil)
+	out.queue = mix(base.queue, best.queue)
+	out.l1Hit = mix(base.l1Hit, best.l1Hit)
+	out.l2Acc = mix(base.l2Acc, best.l2Acc)
+	out.l2Hit = mix(base.l2Hit, best.l2Hit)
+	out.missLatSum = mix(base.missLatSum, best.missLatSum)
+	out.missLatCount = mix(base.missLatCount, best.missLatCount)
+	out.pfIssued = mix(base.pfIssued, best.pfIssued)
+	out.pfUseful = mix(base.pfUseful, best.pfUseful)
+	out.pfEarly = mix(base.pfEarly, best.pfEarly)
+	out.pfUseless = mix(base.pfUseless, best.pfUseless)
+	return out
+}
+
+func evalPhase(kf *kernelFeatures, pf *phaseFeat, cfg *config.Config, tr schedTraits, w float64) phaseOut {
+	nLoads := len(pf.loads)
+	h1 := make([]float64, nLoads)
+	h2 := make([]float64, nLoads)
+	cov := make([]float64, nLoads)
+	pfSurv := make([]float64, nLoads)
+
+	// Bytes inserted into the L1 by one full warp round (every concurrent
+	// warp advancing one iteration), assuming every access allocates.
+	roundBytes := w * pf.lsuLines * lineBytes
+	if roundBytes <= 0 {
+		roundBytes = lineBytes
+	}
+	c1 := float64(cfg.L1SizeBytes)
+	sets := float64(cfg.L1SizeBytes) / (float64(cfg.L1Ways) * lineBytes)
+
+	// Hit-rate fixed point: the reuse window counts only allocating
+	// (missing) traffic, which depends on the hit rates themselves.
+	missFrac := 1.0
+	for pass := 0; pass < 3; pass++ {
+		var missLines float64
+		for i := range pf.loads {
+			lf := &pf.loads[i]
+			h1[i] = loadHitRate(lf, pf, tr, roundBytes, missFrac, c1, sets, w, kf.launches)
+			missLines += lf.lambda * (1 - h1[i])
+		}
+		if pf.lsuLines > 0 {
+			missFrac = clamp(missLines/pf.lsuLines, 0.05, 1)
+		}
+	}
+
+	// Prefetching converts predictable-stride misses into hits when the
+	// prefetched line survives until its use.
+	for i := range pf.loads {
+		lf := &pf.loads[i]
+		cov[i] = coverage(lf, pf, cfg)
+		if cov[i] <= 0 {
+			continue
+		}
+		spread := 1.0
+		if cfg.APRESCoupling {
+			spread = couplSpread
+		}
+		reach := cacheReach(lf, c1, sets)
+		pfSurv[i] = clamp(reach/(spread*roundBytes*missFrac), 0, 1)
+	}
+
+	// L2: fed by L1 misses; reuse across SMs only for genuinely shared
+	// data, otherwise the footprint multiplies by the SM count.
+	numSMs := float64(cfg.NumSMs)
+	c2 := float64(cfg.L2SizeBytes)
+	for i := range pf.loads {
+		lf := &pf.loads[i]
+		miss1 := lf.refs * (1 - effHit(h1[i], cov[i], pfSurv[i]))
+		if miss1 <= 0 {
+			h2[i] = 0
+			continue
+		}
+		mult := numSMs
+		if lf.smShared {
+			mult = 1
+		}
+		uniq2 := lf.uniqLines * mult
+		refs2 := miss1 * numSMs
+		h2max := hitCeiling(refs2, uniq2)
+		r := clamp(c2/(lf.footBytes*mult), 0, 1)
+		if lf.scanLike {
+			r = math.Pow(r, cliffExp)
+		}
+		h2[i] = h2max * r
+	}
+
+	// Timing: per-warp pass latency, then the throughput/queueing fixed
+	// point against finite DRAM bandwidth, MSHRs and NoC fill bandwidth.
+	depth := float64(cfg.PipelineDepth)
+	issueCost := (pf.issues - pf.deepIssues) + pf.deepIssues*depth
+	fillGap := math.Max(1, lineBytes/float64(cfg.NoCBytesPerCycle))
+	l2Lat := float64(cfg.L2Latency)
+	dramLat := float64(cfg.DRAMLatency)
+	hitLat := float64(cfg.L1HitLatency)
+	dramCap := float64(cfg.DRAMPartitions) / float64(cfg.DRAMServiceInterval)
+
+	queue := 0.0
+	u := 0.0
+	ipcSM := 0.0
+	for it := 0; it < fixedPointIters; it++ {
+		var memWait, missLines, dramLines, fillLines float64
+		var missLatSum, missCount float64
+		for i := range pf.loads {
+			lf := &pf.loads[i]
+			if lf.store {
+				// Stores are not waited on but still occupy LSU slots,
+				// MSHRs and bandwidth.
+				missLines += lf.lambda * (1 - h1[i])
+				dramLines += lf.lambda * (1 - h1[i]) * (1 - h2[i])
+				fillLines += lf.lambda * (1 - h1[i])
+				continue
+			}
+			h := effHit(h1[i], cov[i], pfSurv[i])
+			missLat := h2[i]*l2Lat + (1-h2[i])*(dramLat+queue)
+			lat := h*hitLat + (1-h)*missLat + (lf.lambda-1)*fillGap
+			memWait += math.Max(0, lat-depth)
+			missLines += lf.lambda * (1 - h)
+			dramLines += lf.lambda * (1 - h) * (1 - h2[i])
+			fillLines += lf.lambda * (1 - h)
+			missLatSum += lf.lambda * (1 - h) * missLat
+			missCount += lf.lambda * (1 - h)
+		}
+		tWarp := issueCost + memWait
+		ipc := math.Min(1, w*pf.issues/tWarp)
+		if pf.lsuLines > 0 {
+			ipc = math.Min(ipc, pf.issues/pf.lsuLines)
+		}
+		iterRate := ipc / pf.issues // warp-iterations per cycle per SM
+
+		// DRAM bandwidth: aggregate line rate against partition capacity.
+		dramRate := numSMs * iterRate * dramLines
+		u = clamp(dramRate/dramCap, 0, 2)
+		if u > 0.98 {
+			ipc *= 0.98 / u
+			iterRate = ipc / pf.issues
+			u = 0.98
+		}
+		// MSHR file: Little's law on outstanding misses per SM.
+		if missCount > 0 {
+			avgMissLat := missLatSum / missCount
+			outstanding := iterRate * missLines * avgMissLat
+			if m := float64(cfg.L1MSHRs); outstanding > m {
+				ipc *= m / outstanding
+				iterRate = ipc / pf.issues
+			}
+		}
+		// NoC fill bandwidth back to the SM.
+		fillBytes := iterRate * fillLines * lineBytes
+		if nb := float64(cfg.NoCBytesPerCycle); fillBytes > nb {
+			ipc *= nb / fillBytes
+			iterRate = ipc / pf.issues
+		}
+		ipcSM = ipc
+
+		// Queueing delay grows superlinearly toward saturation; MASCAR's
+		// reordering trims it near the knee.
+		q := queueK * dramLat * u * u / (1 - math.Min(u, 0.97))
+		if tr.mascar && u > 0.85 {
+			q *= 0.8
+		}
+		queue = 0.5*queue + 0.5*q // damped update
+	}
+
+	passes := kf.launches * pf.iters // warp-iterations per SM
+	po := phaseOut{
+		ipcSM:    ipcSM,
+		dramUtil: u,
+		queue:    queue,
+		insts:    numSMs * passes * pf.issues,
+	}
+	if ipcSM > 0 {
+		po.cycles = passes*pf.issues/ipcSM + issueCost
+	}
+	for i := range pf.loads {
+		lf := &pf.loads[i]
+		h := effHit(h1[i], cov[i], pfSurv[i])
+		po.l1Acc += lf.refs
+		po.l1Hit += lf.refs * h
+		po.l1Cold += math.Min(lf.uniqLines, lf.refs*(1-h))
+		miss := lf.refs * (1 - h)
+		po.l2Acc += miss
+		po.l2Hit += miss * h2[i]
+		po.missLatSum += miss * (h2[i]*l2Lat + (1-h2[i])*(dramLat+queue))
+		po.missLatCount += miss
+		if cov[i] > 0 {
+			issued := lf.refs * (1 - h1[i]) * cov[i] * (1 + pfWaste)
+			po.pfIssued += issued
+			po.pfUseful += lf.refs * (1 - h1[i]) * cov[i] * pfSurv[i]
+			po.pfEarly += lf.refs * (1 - h1[i]) * cov[i] * (1 - pfSurv[i])
+			po.pfUseless += issued * pfWaste / (1 + pfWaste)
+		}
+	}
+	po.sharedAcc = passes * pf.sharedOps
+	return po
+}
+
+// loadHitRate evaluates one load's steady-state L1 hit rate: the infinite
+// cache ceiling scaled by the probability a line survives its reuse window.
+func loadHitRate(lf *loadFeat, pf *phaseFeat, tr schedTraits, roundBytes, missFrac, c1, sets, w, launches float64) float64 {
+	if lf.hmax <= 0 {
+		return 0
+	}
+	var window float64
+	switch lf.wsKind {
+	case wsRound:
+		spread := spreadBase * tr.roundSpread * (1 + spreadJitterK*pf.jitterFrac)
+		window = spread * roundBytes
+	case wsIterPeriod:
+		window = lf.wsIters * roundBytes * tr.iterCompress
+	case wsFootprint:
+		window = lf.footBytes
+	default:
+		return 0
+	}
+	// Only allocations (misses) push lines out; and a window can never be
+	// worse than holding the whole footprint resident.
+	window *= missFrac
+	if lf.footBytes < window {
+		window = lf.footBytes
+	}
+	reach := cacheReach(lf, c1, sets)
+	r := clamp(reach/window, 0, 1)
+	if lf.scanLike {
+		r = math.Pow(r, cliffExp)
+	}
+	// Concurrency correction for the hit ceiling: hmax was computed over
+	// the kernel's full launch history; with fewer concurrent warps the
+	// sharing population shrinks proportionally only for round-window
+	// reuse, which is what CCWS trades against retention.
+	hmax := lf.hmax
+	if lf.wsKind == wsRound && lf.shareMany && launches > 0 {
+		hmax *= clamp(w/math.Min(launches, w+1), 0.5, 1)
+	}
+	return hmax * r
+}
+
+// cacheReach is the capacity a load's address lattice can actually use:
+// power-of-two strides reach only a fraction of the sets.
+func cacheReach(lf *loadFeat, c float64, sets float64) float64 {
+	if lf.latLines <= 1 {
+		return c
+	}
+	s := int64(sets)
+	if s <= 0 {
+		return c
+	}
+	reached := float64(s/gcd64(s, lf.latLines)) * lf.lambda
+	return c * clamp(reached/float64(s), 0, 1)
+}
+
+// coverage is the fraction of a load's misses the prefetcher predicts.
+func coverage(lf *loadFeat, pf *phaseFeat, cfg *config.Config) float64 {
+	if lf.store || !lf.regular || lf.strideAbs == 0 {
+		return 0
+	}
+	reg := 1 / (1 + 1.5*pf.jitterFrac*spreadJitterK)
+	switch cfg.Prefetcher {
+	case config.PrefSTR:
+		return 0.80 * reg
+	case config.PrefSLD:
+		// Macro-block prefetching only reaches near neighbours.
+		if lf.strideAbs > 2048 {
+			return 0
+		}
+		return 0.60 * (1 - lf.strideAbs/4096) * reg
+	case config.PrefSAP:
+		return 0.88 * reg
+	default:
+		return 0
+	}
+}
+
+// effHit folds prefetch conversion into the demand hit rate.
+func effHit(h, cov, surv float64) float64 {
+	return clamp(h+(1-h)*cov*surv, 0, 1)
+}
+
+// accumulate folds one phase into the kernel totals. Per-SM cache counters
+// scale by the SM count (every SM runs the same program).
+func accumulate(out *rawOut, po phaseOut, cfg *config.Config) {
+	n := float64(cfg.NumSMs)
+	out.cycles += po.cycles
+	out.insts += po.insts
+	out.l1Acc += n * po.l1Acc
+	out.l1Hit += n * po.l1Hit
+	out.l1Cold += n * po.l1Cold
+	out.l2Acc += n * po.l2Acc
+	out.l2Hit += n * po.l2Hit
+	out.dramAcc += n * (po.l2Acc - po.l2Hit)
+	out.missLatSum += n * po.missLatSum
+	out.missLatCount += n * po.missLatCount
+	out.pfIssued += n * po.pfIssued
+	out.pfUseful += n * po.pfUseful
+	out.pfEarly += n * po.pfEarly
+	out.pfUseless += n * po.pfUseless
+	out.sharedAcc += n * po.sharedAcc
+	out.bytesToSM += n * (po.l2Acc + po.pfIssued) * lineBytes
+	out.bytesFromDRAM += n * (po.l2Acc - po.l2Hit) * lineBytes
+	if po.dramUtil > out.dramUtil {
+		out.dramUtil = po.dramUtil
+	}
+	if po.queue > out.queueDelay {
+		out.queueDelay = po.queue
+	}
+	if po.cycles > 0 {
+		out.issueStalls += (1 - po.ipcSM) * po.cycles * n
+	}
+}

@@ -1,0 +1,280 @@
+// Package twin is the analytical performance twin of the cycle-accurate
+// simulator: it maps a workload (kernel phases + per-load stride/locality/
+// coalescing statistics) and a configuration to predicted IPC, L1/L2 hit
+// rates and DRAM bandwidth pressure in microseconds instead of the
+// simulator's tens of milliseconds, carrying a calibrated per-prediction
+// error bound so callers (the harness's auto engine, apresd's sweep
+// prefilter) know when the prediction is trustworthy and when to escalate
+// to the real simulator.
+//
+// Pipeline: features.go reduces each static load's address Pattern to
+// closed-form locality statistics (the twin-side Table I); model.go runs an
+// interval-style throughput model over them (reuse windows vs cache reach,
+// exposed memory latency, DRAM/MSHR/NoC ceilings, scheduler and prefetcher
+// perturbations); calibration.go anchors the result against the
+// cycle-accurate simulator on the golden matrix and attaches error bounds.
+package twin
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+
+	"apres/internal/config"
+	"apres/internal/gpu"
+	"apres/internal/stats"
+	"apres/internal/workloads"
+)
+
+// Engine name constants used in store entries, API responses and metrics.
+const (
+	// EngineTwin tags results produced by this analytical model.
+	EngineTwin = "twin"
+	// EngineCycleAccurate tags results produced by the simulator.
+	EngineCycleAccurate = "cycle-accurate"
+)
+
+// Bounds is a prediction's calibrated error bound.
+type Bounds struct {
+	// IPCRel bounds the relative IPC error (0.1 = +-10%).
+	IPCRel float64 `json:"ipcRel"`
+	// L1HitAbs bounds the absolute L1 hit-rate error (0.05 = +-5 points).
+	L1HitAbs float64 `json:"l1HitAbs"`
+}
+
+// Exceeds reports whether the bound is too loose for the given tolerance
+// (relative-IPC tolerance; the L1 bound scales with the same check at the
+// correlation gate's 3:1 IPC:L1 ratio).
+func (b Bounds) Exceeds(tolerance float64) bool {
+	return b.IPCRel > tolerance || b.L1HitAbs > tolerance/3
+}
+
+// Prediction is one analytical query answer.
+type Prediction struct {
+	Workload     string
+	Config       config.Config
+	Cycles       int64
+	Instructions int64
+	IPC          float64
+	L1HitRate    float64
+	L2HitRate    float64
+	// DRAMUtil is the predicted peak DRAM bandwidth utilisation (1.0 =
+	// every partition saturated).
+	DRAMUtil float64
+	Bounds   Bounds
+	// Anchored reports whether the workload had a per-workload calibration
+	// anchor (the 15 golden workloads); unanchored predictions carry
+	// inflated bounds.
+	Anchored bool
+	// Family is the calibration family the config fell into.
+	Family string
+
+	raw rawOut
+}
+
+// Model answers analytical queries. It is safe for concurrent use; per
+// (workload id, scale) features are memoised so steady-state queries cost
+// only the timing pipeline.
+type Model struct {
+	cal *Calibration
+
+	mu   sync.RWMutex
+	feat map[string]*kernelFeatures
+}
+
+// New returns a model using the embedded blessed calibration.
+func New() *Model { return NewWithCalibration(DefaultCalibration()) }
+
+// NewWithCalibration returns a model with explicit constants (tests, refits).
+func NewWithCalibration(c *Calibration) *Model {
+	return &Model{cal: c, feat: map[string]*kernelFeatures{}}
+}
+
+// Calibration exposes the model's constants (read-only by convention).
+func (m *Model) Calibration() *Calibration { return m.cal }
+
+// DefaultTolerance is the escalation threshold the auto engine applies when
+// the caller does not choose one.
+func (m *Model) DefaultTolerance() float64 { return m.cal.DefaultTolerance }
+
+// Predict answers one (workload, config) query. id keys the feature memo
+// and the calibration anchors: named workloads pass their name ("BFS"),
+// spec-compiled workloads a digest-qualified id (never anchor-matched, so
+// they carry honest inflated bounds); empty disables memoisation. The
+// kernel inside w must already be scaled to the caller's iteration scale.
+func (m *Model) Predict(id string, w workloads.Workload, cfg config.Config) (*Prediction, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxCycles != 0 {
+		return nil, fmt.Errorf("twin: MaxCycles-bounded runs need the cycle-accurate engine")
+	}
+	kf := m.features(id, w)
+	raw := evaluate(kf, &cfg)
+	if raw.cycles <= 0 || raw.insts <= 0 {
+		return nil, fmt.Errorf("twin: degenerate model output for %q", w.Name())
+	}
+
+	family := Family(&cfg)
+	category := w.Category.String()
+	_, anchored := m.cal.Anchors[id]
+	cycles, insts, l1, l2 := m.cal.apply(id, category, family, raw.cycles, raw.insts, raw.l1HitRate(), raw.l2HitRate())
+	bIPC, bL1 := m.cal.bounds(anchored, family, &cfg)
+
+	p := &Prediction{
+		Workload:     w.Name(),
+		Config:       cfg,
+		Cycles:       int64(math.Round(cycles)),
+		Instructions: int64(math.Round(insts)),
+		L1HitRate:    l1,
+		L2HitRate:    l2,
+		DRAMUtil:     raw.dramUtil,
+		Bounds:       Bounds{IPCRel: bIPC, L1HitAbs: bL1},
+		Anchored:     anchored,
+		Family:       family,
+		raw:          raw,
+	}
+	if p.Cycles < 1 {
+		p.Cycles = 1
+	}
+	p.IPC = float64(p.Instructions) / float64(p.Cycles)
+	return p, nil
+}
+
+// RawEvaluate runs the uncalibrated model (fitting and diagnostics).
+func (m *Model) RawEvaluate(id string, w workloads.Workload, cfg config.Config) (cycles, insts, l1Hit, l2Hit float64) {
+	kf := m.features(id, w)
+	raw := evaluate(kf, &cfg)
+	return raw.cycles, raw.insts, raw.l1HitRate(), raw.l2HitRate()
+}
+
+// SchedulerVariants lists the per-variant speedup axis Speedups predicts.
+var SchedulerVariants = []string{"lrr", "gto", "ccws", "mascar", "apres"}
+
+// Speedups predicts, for each scheduler variant, the IPC speedup over the
+// LRR baseline built from base's machine geometry (the Figure 10 axis,
+// answered analytically).
+func (m *Model) Speedups(id string, w workloads.Workload, base config.Config) (map[string]float64, error) {
+	variant := func(name string) config.Config {
+		c := base
+		c.APRESCoupling = false
+		c.Prefetcher = config.PrefNone
+		switch name {
+		case "apres":
+			c.Scheduler = config.SchedLAWS
+			c.Prefetcher = config.PrefSAP
+			c.APRESCoupling = true
+		default:
+			c.Scheduler = config.SchedulerKind(name)
+		}
+		return c
+	}
+	ref, err := m.Predict(id, w, variant("lrr"))
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(SchedulerVariants))
+	for _, v := range SchedulerVariants {
+		p, err := m.Predict(id, w, variant(v))
+		if err != nil {
+			return nil, err
+		}
+		out[v] = p.IPC / ref.IPC
+	}
+	return out, nil
+}
+
+// features returns the memoised config-independent profile for (id, scale).
+func (m *Model) features(id string, w workloads.Workload) *kernelFeatures {
+	if id == "" {
+		return extractFeatures(w.Kernel)
+	}
+	key := featureKey(id, w)
+	m.mu.RLock()
+	kf := m.feat[key]
+	m.mu.RUnlock()
+	if kf != nil {
+		return kf
+	}
+	kf = extractFeatures(w.Kernel)
+	m.mu.Lock()
+	m.feat[key] = kf
+	m.mu.Unlock()
+	return kf
+}
+
+// featureKey folds the phase iteration counts into the memo key: the same
+// workload id queried at different Runner scales must not share features.
+func featureKey(id string, w workloads.Workload) string {
+	var sb strings.Builder
+	sb.WriteString(id)
+	for ph := 0; ph < w.Kernel.Program.NumPhases(); ph++ {
+		_, iters := w.Kernel.Program.PhaseAt(ph)
+		fmt.Fprintf(&sb, "@%d", iters)
+	}
+	return sb.String()
+}
+
+// Result synthesises a gpu.Result from the prediction so twin answers flow
+// through the same serving/reporting paths as simulator output. Counters
+// not predicted directly are derived consistently with the predicted rates.
+func (p *Prediction) Result() gpu.Result {
+	r := &p.raw
+	l1Acc := int64(math.Round(r.l1Acc))
+	l1Hits := int64(math.Round(float64(l1Acc) * p.L1HitRate))
+	misses := l1Acc - l1Hits
+	cold := int64(math.Round(math.Min(r.l1Cold, float64(misses))))
+	capConf := misses - cold
+
+	l2Acc := int64(math.Round(r.l2Acc))
+	if l2Acc < misses {
+		l2Acc = misses
+	}
+	l2Hits := int64(math.Round(float64(l2Acc) * p.L2HitRate))
+	l2Miss := l2Acc - l2Hits
+
+	hitRate := p.L1HitRate
+	hitAfterHit := int64(float64(l1Hits) * hitRate)
+
+	total := stats.Stats{
+		Cycles:           p.Cycles,
+		Instructions:     p.Instructions,
+		IssueStallCycles: int64(math.Round(r.issueStalls)),
+
+		L1Accesses:      l1Acc,
+		L1Hits:          l1Hits,
+		L1HitAfterHit:   hitAfterHit,
+		L1HitAfterMiss:  l1Hits - hitAfterHit,
+		L1ColdMisses:    cold,
+		L1CapConfMisses: capConf,
+
+		PrefetchIssued:       int64(math.Round(r.pfIssued)),
+		PrefetchFills:        int64(math.Round(r.pfIssued)),
+		PrefetchUseful:       int64(math.Round(r.pfUseful)),
+		PrefetchEarlyEvicted: int64(math.Round(r.pfEarly)),
+		PrefetchUseless:      int64(math.Round(r.pfUseless)),
+
+		L2Accesses: l2Acc,
+		GPUL2Hits:  l2Hits,
+		L2Misses:   l2Miss,
+
+		DRAMAccesses:    l2Miss,
+		DRAMQueueCycles: int64(math.Round(float64(l2Miss) * r.queueDelay)),
+
+		MemLatencySum:   int64(math.Round(r.missLatSum)),
+		MemLatencyCount: int64(math.Round(r.missLatCount)),
+
+		BytesToSM:     (misses + int64(math.Round(r.pfIssued))) * lineBytes,
+		BytesFromDRAM: l2Miss * lineBytes,
+
+		RegFileAccesses:   p.Instructions,
+		SharedMemAccesses: int64(math.Round(r.sharedAcc)),
+	}
+	return gpu.Result{
+		Config: p.Config,
+		Kernel: p.Workload,
+		Cycles: p.Cycles,
+		Total:  total,
+	}
+}
