@@ -331,7 +331,12 @@ func BenchmarkFig10ByJobs(b *testing.B) {
 // budget (BENCH_sim.json records ~3.9k for SP and ~6.1k for BFS, all from
 // one-time setup). A regression here means something on the per-cycle path
 // started allocating — including, per the tracing contract, any cost from
-// the disabled (nil) tracer.
+// the disabled (nil) tracer. The parallel leg additionally pins the epoch
+// engine's steady-state overhead to within 1% of serial: with the engine's
+// working set (schedules, barrier buffers, injection queues) and the memory
+// system's fill mirrors pooled across runs, a parallel run's extra
+// allocations are just the engine struct, the worker channels, and the
+// goroutine spawns.
 func TestSimulatorAllocBudget(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation inflates allocation counts")
@@ -345,13 +350,22 @@ func TestSimulatorAllocBudget(t *testing.T) {
 			t.Fatalf("unknown workload %s", app)
 		}
 		kern := w.Kernel.Scaled(benchScale)
-		allocs := testing.AllocsPerRun(1, func() {
+		serial := testing.AllocsPerRun(1, func() {
 			if _, err := gpu.Simulate(config.Baseline(), kern); err != nil {
 				t.Fatal(err)
 			}
 		})
-		if allocs > budget {
-			t.Errorf("%s: %.0f allocs/run, budget %.0f", app, allocs, budget)
+		if serial > budget {
+			t.Errorf("%s: %.0f allocs/run, budget %.0f", app, serial, budget)
+		}
+		par := testing.AllocsPerRun(1, func() {
+			if _, err := gpu.Simulate(config.Baseline(), kern, gpu.WithParallelSMs(4)); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if limit := serial * 1.01; par > limit {
+			t.Errorf("%s: parallel %.0f allocs/run exceeds serial %.0f by more than 1%% (limit %.0f)",
+				app, par, serial, limit)
 		}
 	}
 }
@@ -400,7 +414,7 @@ func BenchmarkTwinThroughput(b *testing.B) {
 }
 
 func BenchmarkSimulatorThroughput(b *testing.B) {
-	for _, app := range []string{"SP", "BFS"} {
+	for _, app := range []string{"SP", "BFS", "KM", "NW"} {
 		w, ok := workloads.ByName(app)
 		if !ok {
 			b.Fatalf("unknown workload %s", app)

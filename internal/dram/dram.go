@@ -14,6 +14,7 @@ package dram
 
 import (
 	"sort"
+	"sync"
 
 	"apres/internal/arch"
 	"apres/internal/config"
@@ -29,6 +30,22 @@ type Response struct {
 	Req arch.MemReq
 	// ReadyCycle is when the response reaches the SM boundary.
 	ReadyCycle int64
+}
+
+// Scheduled is a Response whose NoC-enqueue point is already determined: the
+// cycle Tick will pop the event that produces it, plus the event's heap
+// sequence number as the canonical tie-break. The parallel engine's epoch
+// lookahead (PeekWindowResponses) returns these so each worker can enqueue
+// its own SM's responses at exactly the cycles the serial loop would.
+type Scheduled struct {
+	// EnqueueCycle is when the serial loop would enqueue Resp into the NoC
+	// (the producing event's pop cycle).
+	EnqueueCycle int64
+	// Seq is the producing event's heap sequence number.
+	Seq int64
+	// Resp is the response itself (ReadyCycle already includes the DRAM
+	// return leg for fill waiters).
+	Resp Response
 }
 
 type eventKind uint8
@@ -100,6 +117,30 @@ func (h *eventHeap) pop() event {
 func (h eventHeap) peekCycle() int64 { return h[0].cycle }
 func (h eventHeap) empty() bool      { return len(h) == 0 }
 
+// eventsByCycleSeq orders a flat event slice by (cycle, seq) — the heap's
+// pop order. A named type (rather than sort.Slice) so sorting the epoch
+// lookahead's scratch buffer does not allocate a closure per call; callers
+// pass a pointer so the interface conversion is allocation-free too.
+type eventsByCycleSeq []event
+
+func (s eventsByCycleSeq) Len() int      { return len(s) }
+func (s eventsByCycleSeq) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+func (s eventsByCycleSeq) Less(i, j int) bool {
+	if s[i].cycle != s[j].cycle {
+		return s[i].cycle < s[j].cycle
+	}
+	return s[i].seq < s[j].seq
+}
+
+// fillRef locates one in-flight DRAM fill: its scheduled pop cycle and the
+// producing event's sequence number. There is at most one in-flight fill per
+// line (an MSHR entry and its fill event are created together and retired
+// together), so fillLines can key by line address.
+type fillRef struct {
+	cycle int64
+	seq   int64
+}
+
 type partition struct {
 	l2       *mem.Cache
 	nextFree int64 // next cycle DRAM service can start
@@ -131,10 +172,26 @@ type MemSystem struct {
 	// for it.
 	fillCycles []int64
 	trackFills bool
-	// peekEvents/peekResps are scratch for PeekHitResponses, reused across
-	// calls like the responses slice.
-	peekEvents []event
-	peekResps  []Response
+	// fillLines maps each line with an in-flight DRAM fill to its fill
+	// event (trackFills only). The parallel engine's workers use it as a
+	// frozen snapshot during an epoch: a request to a line present here
+	// with a pop cycle after the request's cycle will merge into that fill,
+	// which is what lets a worker mirror its own merges into its response
+	// schedule without touching the shared MSHRs.
+	fillLines map[arch.LineAddr]fillRef
+	// smFills[sm] is a min-heap of pop cycles of in-flight fills that have
+	// at least one waiter destined for sm (trackFills only). A cycle is
+	// pushed when sm's request creates the fill and again on each of sm's
+	// merges into it, so the head — after lazy discard of popped cycles —
+	// is the earliest fill that can still produce a response toward sm.
+	smFills [][]int64
+	// peekEvents/peekSched are scratch for PeekWindowResponses, reused
+	// across calls like the responses slice.
+	peekEvents eventsByCycleSeq
+	peekSched  []Scheduled
+	// scratch is the pooled backing for all trackFills state above, held
+	// while tracking is on and returned to fillScratchPool on TrackFills(false).
+	scratch *fillScratch
 }
 
 // SetTracer attaches the trace sink; nil disables tracing (the default).
@@ -195,6 +252,10 @@ func (m *MemSystem) access(p int, req arch.MemReq, cycle int64) {
 		// Waiter recorded inside the L2 MSHR entry; it will be woken by
 		// the fill event already scheduled for this line.
 		m.st.L2Misses++
+		if m.trackFills {
+			ref := m.fillLines[req.Line]
+			m.smFills[req.SM] = pushInt64(m.smFills[req.SM], ref.cycle)
+		}
 		if m.tr != nil {
 			m.tr.Emit(trace.Event{Kind: trace.KindL2Enter, Unit: int32(p),
 				Warp: int32(req.Warp), PC: uint32(req.PC), Line: uint64(req.Line),
@@ -208,6 +269,9 @@ func (m *MemSystem) access(p int, req arch.MemReq, cycle int64) {
 		pt.nextFree = start + int64(m.cfg.DRAMServiceInterval)
 		m.st.DRAMQueueCycles += start - cycle
 		m.push(event{cycle: start + int64(m.cfg.DRAMLatency), kind: evDRAMFill, partition: p, line: req.Line})
+		if m.trackFills {
+			m.smFills[req.SM] = pushInt64(m.smFills[req.SM], start+int64(m.cfg.DRAMLatency))
+		}
 		if m.tr != nil {
 			m.tr.Emit(trace.Event{Kind: trace.KindL2Enter, Unit: int32(p),
 				Warp: int32(req.Warp), PC: uint32(req.PC), Line: uint64(req.Line),
@@ -233,6 +297,7 @@ func (m *MemSystem) push(e event) {
 		m.hitEvents++
 	} else if m.trackFills {
 		m.fillCycles = pushInt64(m.fillCycles, e.cycle)
+		m.fillLines[e.line] = fillRef{cycle: e.cycle, seq: e.seq}
 	}
 	m.events.push(e)
 }
@@ -273,11 +338,58 @@ func popInt64(h []int64) []int64 {
 	return h
 }
 
-// TrackFills enables (or disables) the fill-cycle mirror heap behind
-// NextFillCycle. The parallel engine turns it on at run start, before any
-// request enters the system; the serial engine leaves it off and pays
-// nothing.
-func (m *MemSystem) TrackFills(on bool) { m.trackFills = on }
+// fillScratch is the TrackFills working set — the line map, the global and
+// per-SM cycle heaps, and the window-lookahead scratch — pooled across
+// MemSystem instances so each parallel run reuses warmed capacity instead of
+// regrowing it from nil. No simulation state crosses runs: the map is
+// cleared and every slice reset to length zero on release.
+type fillScratch struct {
+	lines  map[arch.LineAddr]fillRef
+	sm     [][]int64
+	cycles []int64
+	events eventsByCycleSeq
+	sched  []Scheduled
+}
+
+var fillScratchPool = sync.Pool{New: func() any {
+	return &fillScratch{lines: make(map[arch.LineAddr]fillRef)}
+}}
+
+// TrackFills enables (or disables) the fill mirrors behind NextFillCycle,
+// NextFillCycleSM, and FillFor. The parallel engine turns it on at run
+// start, before any request enters the system, and off when the run ends
+// (returning the working set to the pool); the serial engine leaves it off
+// and pays nothing.
+func (m *MemSystem) TrackFills(on bool) {
+	if on && !m.trackFills {
+		fs := fillScratchPool.Get().(*fillScratch)
+		if cap(fs.sm) < m.cfg.NumSMs {
+			fs.sm = make([][]int64, m.cfg.NumSMs)
+		}
+		fs.sm = fs.sm[:m.cfg.NumSMs]
+		m.fillLines = fs.lines
+		m.smFills = fs.sm
+		m.fillCycles = fs.cycles[:0]
+		m.peekEvents = fs.events[:0]
+		m.peekSched = fs.sched[:0]
+		m.scratch = fs
+	} else if !on && m.trackFills && m.scratch != nil {
+		fs := m.scratch
+		clear(fs.lines)
+		for i := range m.smFills {
+			m.smFills[i] = m.smFills[i][:0]
+		}
+		fs.sm = m.smFills
+		fs.cycles = m.fillCycles[:0]
+		fs.events = m.peekEvents[:0]
+		fs.sched = m.peekSched[:0]
+		m.fillLines, m.smFills, m.fillCycles = nil, nil, nil
+		m.peekEvents, m.peekSched = nil, nil
+		m.scratch = nil
+		fillScratchPool.Put(fs)
+	}
+	m.trackFills = on
+}
 
 // NextFillCycle returns the cycle of the earliest scheduled DRAM fill
 // event, or -1 when none is scheduled. Only valid while TrackFills is on.
@@ -295,32 +407,94 @@ func (m *MemSystem) NextFillCycle() int64 {
 	return m.fillCycles[0]
 }
 
-// PeekHitResponses returns, without mutating the event heap, the responses
-// that evL2Hit events scheduled at or before upTo will produce, in the
-// exact (cycle, seq) order Tick will pop them. The parallel engine calls it
-// at epoch start to pre-enqueue hit responses into the NoC so workers can
-// deliver them inside the epoch; the later barrier drain re-pops the same
-// events for real (stats, heap bookkeeping) and skips the duplicate
-// enqueue. The returned slice is reused across calls.
-func (m *MemSystem) PeekHitResponses(upTo int64) []Response {
+// NextFillCycleSM returns the earliest scheduled pop cycle among in-flight
+// DRAM fills that can still produce a response toward sm, or -1 when none
+// can. Only valid while TrackFills is on. This is the per-SM refinement of
+// NextFillCycle: a fill destined only for other SMs does not appear in sm's
+// heap, so sm's epoch planning (and tests pinning the mirror) see exactly
+// the memory events that concern it.
+func (m *MemSystem) NextFillCycleSM(sm int) int64 {
+	h := m.smFills[sm]
+	for len(h) > 0 && h[0] <= m.lastTick {
+		h = popInt64(h)
+	}
+	m.smFills[sm] = h
+	if len(h) == 0 {
+		return -1
+	}
+	return h[0]
+}
+
+// PendingRetries reports whether any partition holds MSHR-stalled requests
+// waiting to retry. The parallel engine's epoch planner must know: a pending
+// request retried inside a window can merge into a fill that pops inside the
+// same window — a response no worker could have foreseen at epoch start —
+// so windows that start with retries pending stop before the first fill pop.
+func (m *MemSystem) PendingRetries() bool {
+	for i := range m.parts {
+		if len(m.parts[i].pending) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// FillFor returns the scheduled pop cycle and event sequence of the
+// in-flight DRAM fill for line l, if one exists. Only valid while
+// TrackFills is on. During an epoch the memory system is frozen, so workers
+// may call it concurrently (read-only) to detect that one of their own
+// requests will merge into an already-scheduled fill: a line cannot be
+// resident while its fill is in flight, and entries retire only when their
+// fill pops, so "present here with cycle > request cycle" is exactly the
+// serial merge condition.
+func (m *MemSystem) FillFor(l arch.LineAddr) (cycle, seq int64, ok bool) {
+	ref, ok := m.fillLines[l]
+	return ref.cycle, ref.seq, ok
+}
+
+// ReturnLeg is the DRAM-fill response's travel time from L2 back to the SM
+// boundary (L2Latency/2, Table III). Exposed so the parallel engine can
+// compute the ReadyCycle of a mirrored merge response.
+func (m *MemSystem) ReturnLeg() int64 { return m.returnLeg }
+
+// PeekWindowResponses returns, without mutating the event heap, every
+// response that events scheduled at or before upTo will produce — L2 hits
+// and DRAM-fill waiters alike — in the exact (cycle, seq, waiter-index)
+// order Tick will emit them, stamped with their enqueue cycles. The parallel
+// engine calls it at epoch start to build each worker's response schedule;
+// the later barrier drain re-pops the same events for real (stats, heap and
+// MSHR bookkeeping) and enqueues nothing, because every response a window
+// can produce is either scheduled here or mirrored by the issuing worker.
+// Fill waiter lists are read as frozen at call time; waiters appended during
+// the window come only from in-window requests, whose workers mirror them.
+// The returned slice is reused across calls.
+func (m *MemSystem) PeekWindowResponses(upTo int64) []Scheduled {
 	m.peekEvents = m.peekEvents[:0]
 	for _, e := range m.events {
-		if e.kind == evL2Hit && e.cycle <= upTo {
+		if e.cycle <= upTo {
 			m.peekEvents = append(m.peekEvents, e)
 		}
 	}
-	sort.Slice(m.peekEvents, func(i, j int) bool {
-		a, b := &m.peekEvents[i], &m.peekEvents[j]
-		if a.cycle != b.cycle {
-			return a.cycle < b.cycle
-		}
-		return a.seq < b.seq
-	})
-	m.peekResps = m.peekResps[:0]
+	sort.Sort(&m.peekEvents)
+	m.peekSched = m.peekSched[:0]
 	for _, e := range m.peekEvents {
-		m.peekResps = append(m.peekResps, Response{Req: e.req, ReadyCycle: e.cycle})
+		switch e.kind {
+		case evL2Hit:
+			m.peekSched = append(m.peekSched, Scheduled{
+				EnqueueCycle: e.cycle, Seq: e.seq,
+				Resp: Response{Req: e.req, ReadyCycle: e.cycle},
+			})
+		case evDRAMFill:
+			ready := e.cycle + m.returnLeg
+			for _, w := range m.parts[e.partition].l2.MSHRWaiters(e.line) {
+				m.peekSched = append(m.peekSched, Scheduled{
+					EnqueueCycle: e.cycle, Seq: e.seq,
+					Resp: Response{Req: w, ReadyCycle: ready},
+				})
+			}
+		}
 	}
-	return m.peekResps
+	return m.peekSched
 }
 
 // Tick advances the memory system to the given cycle and returns the
@@ -357,6 +531,16 @@ func (m *MemSystem) Tick(cycle int64) []Response {
 					Warp: int32(e.req.Warp), PC: uint32(e.req.PC), Line: uint64(e.line)})
 			}
 		case evDRAMFill:
+			if m.trackFills {
+				delete(m.fillLines, e.line)
+				// Eagerly discharge mirror entries this pop retires, so the
+				// heaps stay bounded by fills in flight instead of growing for
+				// the whole run (NextFillCycle* still discards lazily for
+				// entries retired between queries).
+				for len(m.fillCycles) > 0 && m.fillCycles[0] <= e.cycle {
+					m.fillCycles = popInt64(m.fillCycles)
+				}
+			}
 			fill := m.parts[e.partition].l2.Fill(e.line, e.cycle)
 			if fill.Entry == nil {
 				continue
@@ -364,6 +548,15 @@ func (m *MemSystem) Tick(cycle int64) []Response {
 			ready := e.cycle + m.returnLeg
 			for _, w := range fill.Entry.Waiters {
 				m.responses = append(m.responses, Response{Req: w, ReadyCycle: ready})
+			}
+			if m.trackFills {
+				for _, w := range fill.Entry.Waiters {
+					h := m.smFills[w.SM]
+					for len(h) > 0 && h[0] <= e.cycle {
+						h = popInt64(h)
+					}
+					m.smFills[w.SM] = h
+				}
 			}
 			if m.tr != nil {
 				m.tr.Emit(trace.Event{Kind: trace.KindDRAMLeave, Unit: int32(e.partition),

@@ -1,0 +1,65 @@
+package gpu
+
+import (
+	"testing"
+
+	"apres/internal/config"
+	"apres/internal/workloads"
+)
+
+// TestEpochCoverageFloors pins the parallel engine's epoch coverage — the
+// fraction of simulated cycles executed inside worker-fanned epochs, which
+// is the Amdahl ceiling for multicore scaling — at full scale under the
+// APRES config, for the four bench workloads. Coverage is deterministic
+// (the epoch planner sees the same event sequence every run), so these
+// floors are CI-assertable even on a single-threaded host where wall-clock
+// speedup is unmeasurable. A drop below a floor means an epoch-bound
+// regression: windows are ending early somewhere they provably need not.
+func TestEpochCoverageFloors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale runs; skipped in -short")
+	}
+	cases := []struct {
+		app string
+		// floor is the pinned minimum coverage. Measured values are
+		// 0.9966-0.9999 (BENCH_sim.json): epochs now chain back to back at
+		// the full min(L2,DRAM)-latency width, so coverage is structural,
+		// not marginal — 0.95 leaves headroom for workload drift while
+		// still far exceeding the per-workload acceptance floors
+		// (NW >=0.40, KM >=0.60, BFS >=0.70, SP >=0.90).
+		floor float64
+	}{
+		{"SP", 0.95},
+		{"BFS", 0.95},
+		{"KM", 0.95},
+		{"NW", 0.95},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.app, func(t *testing.T) {
+			t.Parallel()
+			w, ok := workloads.ByName(c.app)
+			if !ok {
+				t.Fatalf("unknown workload %s", c.app)
+			}
+			res, err := Simulate(config.APRES(), w.Kernel, WithParallelSMs(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			es := res.EngineStats
+			cov := es.Coverage(res.Cycles)
+			amdahl := 1 / ((1 - cov) + cov/4)
+			t.Logf("%s: coverage %.4f (%d epochs, avg %.1f cycles, %d/%d cycles), amdahl@4 %.2fx",
+				c.app, cov, es.Epochs, es.AvgEpochCycles(), es.EpochCycles, res.Cycles, amdahl)
+			if cov < c.floor {
+				t.Errorf("%s: epoch coverage %.4f below pinned floor %.2f", c.app, cov, c.floor)
+			}
+			// The acceptance bar for -smjobs to be a win across the board:
+			// measured coverage must support a >=2x Amdahl projection at 4
+			// workers (coverage >= 2/3) on every bench workload.
+			if amdahl < 2.0 {
+				t.Errorf("%s: coverage %.4f projects only %.2fx at 4 workers (need >=2x)", c.app, cov, amdahl)
+			}
+		})
+	}
+}

@@ -141,6 +141,12 @@ func FuzzEngineEquivalence(f *testing.F) {
 		int16(-512), int16(512), uint16(65535), uint16(0), uint64(99))
 	f.Add(uint8(4), uint8(1), uint8(15), uint8(12), uint8(1), uint8(0), uint8(0b01110000),
 		int16(128), int16(128), uint16(256), uint16(256), uint64(42))
+	// Fill-storm shape (examples/specs/fill_storm.json): line-per-lane
+	// uncoalesced streams with large opposite-sign strides, per-SM
+	// footprints, stores, and warp refill — nearly every epoch contains
+	// DRAM fill pops, stressing in-epoch fill delivery and merge mirroring.
+	f.Add(uint8(7), uint8(7), uint8(0), uint8(8), uint8(1), uint8(1), uint8(0b10001000),
+		int16(32767), int16(-32768), uint16(0x7FFF), uint16(0x81FF), uint64(2026))
 	f.Fuzz(checkEngineEquivalence)
 }
 

@@ -49,6 +49,11 @@ type Result struct {
 	// Timeline holds periodic progress samples when the GPU was built
 	// with WithTimeline.
 	Timeline []TimelinePoint
+	// EngineStats reports how the run executed (parallel epoch counts and
+	// coverage; zero for serial runs). It is execution metadata, excluded
+	// from the serial/parallel equivalence the engine guarantees for every
+	// other field.
+	EngineStats stats.EngineStats
 }
 
 // IPC returns aggregate instructions per cycle across the GPU.
@@ -333,6 +338,13 @@ func (g *GPU) finish(kernName string, cycle int64, hitMax bool) Result {
 		res.LoadStats = g.sms[0].LoadStats()
 	}
 	res.Timeline = g.timeline
+	if g.eng != nil {
+		res.EngineStats = stats.EngineStats{
+			SMJobs:      g.smJobs,
+			Epochs:      g.eng.epochs,
+			EpochCycles: g.eng.epochCycles,
+		}
+	}
 	return res
 }
 

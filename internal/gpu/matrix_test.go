@@ -6,6 +6,7 @@ import (
 
 	"apres/internal/config"
 	"apres/internal/kernel"
+	"apres/internal/stats"
 	"apres/internal/trace"
 	"apres/internal/workloads"
 )
@@ -116,6 +117,10 @@ func countByCategory(evs []trace.Event) map[string]int {
 // engine variant, never acceptable drift.
 func requireSameRun(t *testing.T, label string, want, got equivRun) {
 	t.Helper()
+	// EngineStats is execution metadata (epoch counts differ between serial
+	// and parallel runs by design); equivalence is over everything else.
+	want.Res.EngineStats = stats.EngineStats{}
+	got.Res.EngineStats = stats.EngineStats{}
 	if want.Res.Cycles != got.Res.Cycles {
 		t.Fatalf("%s: cycles diverge: want %d got %d", label, want.Res.Cycles, got.Res.Cycles)
 	}

@@ -3,54 +3,86 @@
 //
 // SMs interact with each other only through the shared memory system (L2 +
 // DRAM) and the NoC, and both interactions have architectural latency
-// floors. The engine exploits that: it interleaves *serial steps* (one
-// cycle of the exact serial loop body) with *epochs* — windows of cycles in
-// which, provably, no NoC delivery can reach any SM and no memory-system
-// event can produce one. Inside an epoch every SM's evolution depends only
-// on its own state, so disjoint SM partitions advance on worker goroutines
-// in parallel. Memory-system injections made during the epoch are buffered
-// per SM (smPort) and replayed at the barrier in canonical (cycle, SM,
-// issue-order) order — exactly the order the serial loop would have used —
-// so the shared side's state, statistics, and event heap sequencing are
-// bit-identical to a serial run. The equivalence suite
+// floors. The engine exploits that: it chains *epochs* — windows of cycles
+// in which every response any SM can receive is known, per SM, at window
+// start — and falls back to *serial steps* (one cycle of the exact serial
+// loop body) only when a window would be too short to pay for its barrier.
+// Inside an epoch every SM's evolution depends only on its own state plus
+// its own pre-computed response schedule, so disjoint SM partitions advance
+// on worker goroutines in parallel. Memory-system injections made during
+// the epoch are buffered per SM (smPort) and replayed at the barrier in
+// canonical (cycle, SM, issue-order) order — exactly the order the serial
+// loop would have used — so the shared side's state, statistics, and event
+// heap sequencing are bit-identical to a serial run. The equivalence suite
 // (parallel_equiv_test.go, fuzz_equiv_test.go) enforces this for cycles,
 // every statistic, trace streams, and interval samples, at every worker
 // count.
 //
-// Epoch bounds. After a serial step at cycle S-1, cycles [S, E] form a
-// valid epoch when, in untraced runs,
+// Epoch windows. In untraced runs, cycles [S, E] form a valid epoch when
 //
-//	E <  memSys.NextFillCycle()          (no DRAM fill pops in the window)
-//	E <  S + min(L2Latency, DRAMLatency) (no epoch-issued request responds)
+//	E <= S + min(L2Latency, DRAMLatency) - 1   (latency floor)
+//	E <  memSys.NextFillCycle()   only if retries are pending at S
 //
-// Inside such a window NoC deliveries DO happen, worker-locally: the NoC's
-// queues, credits, and delivered-byte accounting all decompose per SM, and
-// every response deliverable in the window is known at S. Responses already
-// queued are trivially known; the only events that can produce new ones in
-// the window are L2 hits already in the heap (fills don't pop, by the first
-// bound; epoch-issued requests schedule events at S+L2Latency or later, by
-// the second), and an L2 hit's response — target SM, ready cycle, payload —
-// was fixed when its request was issued. The engine therefore pre-enqueues
-// those hit responses at epoch start (memSys.PeekHitResponses), preserving
-// the exact (cycle, seq) order the serial loop would have enqueued them in,
-// and each worker runs the full serial per-SM cycle body — deliver, fill,
-// done-check, skip-or-tick — against its own queue. The fill bound is what
-// makes the queue *order* exact, not just the membership: a fill response
-// enqueued mid-window would sit ahead of later hits in the FIFO (its waiter
-// set can even grow from this window's own merges), so the window simply
-// never spans one.
+// Unlike the engine's first incarnation, DRAM fills ARE allowed to pop
+// inside the window. What makes that sound is that every response a window
+// can produce is attributable, at S or by its own issuing worker, to the SM
+// that will receive it:
+//
+//   - Frozen events. Every event already in the heap at S that pops at or
+//     before E has a fully determined outcome: an L2 hit's response (target
+//     SM, ready cycle) was fixed at issue; a DRAM fill's frozen waiter list
+//     is fixed because waiters only accrue from new requests. The engine
+//     captures all of them at epoch start (memSys.PeekWindowResponses) into
+//     per-SM schedules ordered by (pop cycle, event seq, waiter index) —
+//     the exact order the serial loop enqueues them into the NoC.
+//   - Window-issued requests. A request issued at cycle c in [S, E] can
+//     hit (event at c+L2Latency > E), miss into DRAM (fill at >=
+//     c+DRAMLatency > E), stall, or merge into an in-flight fill. Only the
+//     merge can produce a response inside the window — when the fill pops
+//     at t in (c, E] — and only into a *frozen* fill: entries created
+//     during the window pop after E by the latency floor. The issuing
+//     worker detects this itself: a line cannot be resident while its fill
+//     is in flight and entries retire only when their fill pops, so the
+//     frozen fill map (memSys.FillFor, read-only during the window) says
+//     "merge at t" exactly when the serial replay will, and the worker
+//     inserts the mirrored response into its own schedule at its (t, seq)
+//     position.
+//   - Stalls and retries. A request that stalls inside the window (MSHR
+//     file full) cannot produce an in-window response when it retries: a
+//     retry merges only if some entry for its line exists, and merges are
+//     checked before stalls, so the original request would have merged —
+//     any entry appearing later was created in-window and pops after E.
+//     Retries of requests already pending at S are the one exception — the
+//     frozen MSHR occupancy can free mid-window and let them merge into a
+//     frozen fill — so when retries are pending at S the planner caps the
+//     window before the first fill pop, restoring the stricter PR 6 bound.
+//
+// Each worker therefore runs the full serial per-SM cycle body — enqueue
+// due scheduled responses, deliver, fill, done-check, skip-or-tick —
+// against its own NoC queue, enqueueing each scheduled response at its
+// exact serial cycle so the queue's FIFO order (a persistent observable:
+// the head blocks later-ready responses) matches the serial loop's. The NoC
+// decomposes per SM throughout: queues, credits, delivered-byte
+// accumulators (noc per-SM Deliver/Enqueue concurrency contracts).
 //
 // The barrier drain then replays buffered memory injections in canonical
 // (cycle, SM, issue-order) order, running memSys.Tick at each due cycle
-// interleaved exactly as the serial loop would: the same hit events pop for
-// real (their re-produced responses are recognised by ReadyCycle <= E and
-// not enqueued twice), retries and stats evolve identically, and the shared
-// side ends the epoch bit-identical to a serial run.
+// interleaved exactly as the serial loop would — stats, MSHR and DRAM-slot
+// state, retries, and heap sequencing all evolve identically — but
+// enqueues nothing: every response produced by an in-window Tick was
+// already enqueued worker-side (scheduled or mirrored), and events created
+// by the replay itself pop after E.
 //
-// Traced runs keep two stricter bounds in place of the fill bound —
+// dram.NextFillCycleSM(sm) exposes the per-SM half of the fill mirror —
+// the earliest fill that can still respond toward a given SM — which is
+// the quantity the per-SM schedules realise; the equivalence tests pin it
+// against the schedule contents.
+//
+// Traced runs keep the strict PR 6 bounds —
 //
 //	E <  net.NextDeliveryCycle(S-1)      (no queued response can arrive)
 //	E <  memSys.NextResponseCycle()      (no scheduled event can respond)
+//	E <= S + min(L2Latency, DRAMLatency) - 1
 //
 // — so no delivery happens inside a traced epoch at all. Tracing is for
 // debugging, not throughput, and keeping deliveries out of traced windows
@@ -107,7 +139,40 @@ func (p *smPort) Request(req arch.MemReq, cycle int64) {
 	p.reqs = append(p.reqs, bufferedReq{req: req, cycle: cycle, pos: pos})
 }
 
+// schedEntry is one response an SM will receive during the current epoch,
+// known either at epoch start (frozen events) or discovered by the SM's own
+// worker (mirrored merges): the cycle the serial loop enqueues it into the
+// NoC, the producing event's heap sequence (tie-break), and the response.
+type schedEntry struct {
+	enq  int64
+	seq  int64
+	resp dram.Response
+}
+
 type epochSpan struct{ from, to int64 }
+
+// engineScratch is the allocation-heavy per-run working set of the parallel
+// engine — response schedules, epoch barrier buffers, snapshot matrices,
+// interval boundaries, and the per-SM injection queues — pooled across runs
+// so repeated parallel simulations (benchmarks, the daemon) regrow it once
+// rather than per Simulate. No simulation state crosses runs: every slice is
+// truncated to length zero before reuse and per-epoch state is rebuilt by
+// prepareEpoch.
+type engineScratch struct {
+	sched     [][]schedEntry
+	doneAt    []int64
+	lastDeliv []int64
+	hi        []int
+	ri        []int
+	tlBound   []int64
+	trBound   []int64
+	tlSnap    [][]int64
+	trSnap    [][]trace.Gauges
+	pendTr    []pendingSample
+	ports     [][]bufferedReq
+}
+
+var engineScratchPool sync.Pool
 
 // pendingSample is an interval sample gathered during an epoch's barrier
 // drain, held back until the engine knows whether the run terminated inside
@@ -126,6 +191,18 @@ type parallelEngine struct {
 	// runs; see the package comment for why traced runs do not).
 	deliver bool
 	minLat  int64 // min(L2Latency, DRAMLatency)
+	retLeg  int64 // DRAM-fill return leg, for mirrored merge responses
+
+	// epochs/epochCycles count executed epochs and the cycles they covered
+	// (Result.EngineStats; epochCycles/Cycles is the run's epoch coverage).
+	epochs      int64
+	epochCycles int64
+
+	// sched[i] is SM i's response schedule for the current epoch, sorted by
+	// (enq, seq); built at epoch start from the frozen event heap and
+	// extended in place by SM i's worker when its own requests merge into
+	// frozen fills. Reused across epochs.
+	sched [][]schedEntry
 
 	// doneAt[i] is the first cycle of the current epoch at which SM i was
 	// observed Done (-1 = not observed), mirroring the serial loop's
@@ -159,6 +236,10 @@ type parallelEngine struct {
 	// wakeups, not jobs.
 	work []chan epochSpan
 	wg   sync.WaitGroup
+
+	// sc is the pooled backing for the per-SM slices above (and the ports'
+	// request buffers); stop() writes regrown headers back and returns it.
+	sc *engineScratch
 }
 
 func newParallelEngine(g *GPU) *parallelEngine {
@@ -171,26 +252,47 @@ func newParallelEngine(g *GPU) *parallelEngine {
 	if d := int64(g.cfg.DRAMLatency); d < minLat {
 		minLat = d
 	}
+	sc, _ := engineScratchPool.Get().(*engineScratch)
+	if sc == nil {
+		sc = &engineScratch{}
+	}
+	sc.sched = resizeSnap(sc.sched, n)
+	sc.doneAt = resizeSnap(sc.doneAt, n)
+	sc.lastDeliv = resizeSnap(sc.lastDeliv, n)
+	sc.hi = resizeSnap(sc.hi, n)
+	sc.ri = resizeSnap(sc.ri, n)
+	sc.tlSnap = resizeSnap(sc.tlSnap, n)
+	sc.trSnap = resizeSnap(sc.trSnap, n)
+	sc.ports = resizeSnap(sc.ports, n)
+	for i := 0; i < n; i++ {
+		sc.sched[i] = sc.sched[i][:0]
+		g.ports[i].reqs = sc.ports[i][:0]
+	}
 	e := &parallelEngine{
 		g:         g,
 		jobs:      jobs,
 		traced:    g.tr != nil,
 		minLat:    minLat,
-		doneAt:    make([]int64, n),
-		lastDeliv: make([]int64, n),
-		hi:        make([]int, n),
-		ri:        make([]int, n),
-		tlSnap:    make([][]int64, n),
-		trSnap:    make([][]trace.Gauges, n),
-		work:      make([]chan epochSpan, jobs),
+		retLeg:    g.memSys.ReturnLeg(),
+		sched:     sc.sched,
+		doneAt:    sc.doneAt,
+		lastDeliv: sc.lastDeliv,
+		hi:        sc.hi,
+		ri:        sc.ri,
+		tlBound:   sc.tlBound[:0],
+		trBound:   sc.trBound[:0],
+		tlSnap:    sc.tlSnap,
+		trSnap:    sc.trSnap,
+		pendTr:    sc.pendTr[:0],
+		work:      make([]chan epochSpan, 0, jobs-1),
+		sc:        sc,
 	}
 	e.deliver = !e.traced
 	if e.deliver {
-		// The fill-cycle mirror must cover every fill scheduled from cycle 0
-		// on; the engine exists before the first request enters the system.
+		// The fill mirrors must cover every fill scheduled from cycle 0 on;
+		// the engine exists before the first request enters the system.
 		g.memSys.TrackFills(true)
 	}
-	e.work = e.work[:0]
 	for w := 1; w < jobs; w++ {
 		ch := make(chan epochSpan, 1)
 		e.work = append(e.work, ch)
@@ -199,18 +301,34 @@ func newParallelEngine(g *GPU) *parallelEngine {
 	return e
 }
 
-// stop terminates the worker goroutines.
+// stop terminates the worker goroutines and returns the pooled working sets
+// (the engine's and the memory system's fill mirrors) for the next run.
 func (e *parallelEngine) stop() {
 	for _, ch := range e.work {
 		close(ch)
 	}
+	if e.deliver {
+		e.g.memSys.TrackFills(false)
+	}
+	sc := e.sc
+	// Inner per-SM slices were written back in place (the outer arrays are
+	// shared); only the append-grown headers need harvesting.
+	sc.tlBound = e.tlBound
+	sc.trBound = e.trBound
+	sc.pendTr = e.pendTr[:0]
+	for i := range e.g.ports {
+		sc.ports[i] = e.g.ports[i].reqs[:0]
+		e.g.ports[i].reqs = nil
+	}
+	e.sc = nil
+	engineScratchPool.Put(sc)
 }
 
 // worker advances its SM partition (i ≡ w mod jobs) through each epoch it
 // receives. Workers touch only per-SM state — the SM itself, its stats, its
-// wake bound, its NoC queue and credit, its port, its local tracer, its
-// snapshot rows — so the only synchronisation needed is the epoch hand-off
-// itself.
+// wake bound, its NoC queue and credit, its port, its schedule, its local
+// tracer, its snapshot rows — so the only synchronisation needed is the
+// epoch hand-off itself.
 func (e *parallelEngine) worker(w int, ch <-chan epochSpan) {
 	for sp := range ch {
 		e.advancePartition(w, sp.from, sp.to)
@@ -225,12 +343,34 @@ func (e *parallelEngine) advancePartition(w int, from, to int64) {
 	}
 }
 
+// insertSched inserts ent into the sorted region sch[k:] at its (enq, seq)
+// upper bound — after every entry the serial loop enqueues at or before it,
+// including earlier-merged waiters of the same fill event.
+func insertSched(sch []schedEntry, k int, ent schedEntry) []schedEntry {
+	lo, hi := k, len(sch)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if sch[mid].enq < ent.enq || (sch[mid].enq == ent.enq && sch[mid].seq <= ent.seq) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	sch = append(sch, schedEntry{})
+	copy(sch[lo+1:], sch[lo:])
+	sch[lo] = ent
+	return sch
+}
+
 // advanceSM runs one SM through [from, to], mirroring the serial loop's
-// per-SM section cycle for cycle: deliver queued responses, hand them to
-// the SM, done check, cached-wakeup bulk skip (capped so no delivery cycle
-// is jumped over), otherwise Tick. Interval boundaries are snapshotted as
-// they are crossed. Everything touched here is per-SM state — the SM, its
-// stats, its wake bound, its NoC queue and credit, its port, its local
+// per-SM section cycle for cycle: enqueue scheduled responses that come due,
+// deliver queued responses, hand them to the SM, done check, cached-wakeup
+// bulk skip (capped so no delivery or enqueue cycle is jumped over),
+// otherwise Tick — and after each Tick, mirror any of the SM's own requests
+// that will merge into frozen fills popping inside the window (see the
+// package comment). Interval boundaries are snapshotted as they are
+// crossed. Everything touched here is per-SM state — the SM, its stats, its
+// wake bound, its NoC queue and credit, its port, its schedule, its local
 // tracer, its snapshot rows — which is the whole reason the epoch can fan
 // out.
 func (e *parallelEngine) advanceSM(i int, from, to int64) {
@@ -246,7 +386,20 @@ func (e *parallelEngine) advanceSM(i int, from, to int64) {
 	if !e.deliver {
 		nd = to + 1
 	}
+	sch := e.sched[i]
+	k := 0  // schedule cursor: entries before k have been enqueued
+	ri := 0 // mirror cursor into the SM's buffered requests
 	for c <= to {
+		if k < len(sch) && sch[k].enq <= c {
+			// The serial loop's memSys.Tick(c) enqueues these before the
+			// cycle's deliveries; pulling them now and re-arming the delivery
+			// bound reproduces both the queue order and the delivery timing.
+			for k < len(sch) && sch[k].enq <= c {
+				g.net.Enqueue(sch[k].resp)
+				k++
+			}
+			nd = c
+		}
 		var resp []dram.Response
 		if c >= nd {
 			resp = g.net.Deliver(i, c)
@@ -266,11 +419,16 @@ func (e *parallelEngine) advanceSM(i int, from, to int64) {
 				e.doneAt[i] = c
 			}
 			// The serial loop keeps draining a done SM's queue; jump straight
-			// to the next cycle a delivery could land on.
-			if nd > to {
+			// to the next cycle a delivery could land on — or the next
+			// scheduled enqueue, which may arm one.
+			next := nd
+			if k < len(sch) && sch[k].enq < next {
+				next = sch[k].enq
+			}
+			if next > to {
 				break
 			}
-			c = nd
+			c = next
 			continue
 		}
 		if !g.noSkip && len(resp) == 0 && g.wake[i] > c {
@@ -280,6 +438,9 @@ func (e *parallelEngine) advanceSM(i int, from, to int64) {
 			}
 			if nd-1 < end {
 				end = nd - 1
+			}
+			if k < len(sch) && sch[k].enq-1 < end {
+				end = sch[k].enq - 1
 			}
 			if e.traced {
 				g.parTr[i].Advance(c)
@@ -297,10 +458,33 @@ func (e *parallelEngine) advanceSM(i int, from, to int64) {
 		if !g.noSkip {
 			g.wake[i] = sm.NextWakeup(c)
 		}
+		if e.deliver {
+			// Mirror merges: a request issued this cycle to a line whose
+			// frozen fill pops at t in (c, to] will merge into it at the
+			// barrier replay, and the serial loop would enqueue its response
+			// at t. Insert it at its canonical schedule position. (Stores
+			// never respond; see the package comment for why the frozen map
+			// is exact during the window.)
+			reqs := g.ports[i].reqs
+			for ; ri < len(reqs); ri++ {
+				br := &reqs[ri]
+				if br.req.Kind == arch.AccessStore {
+					continue
+				}
+				if t, seq, ok := g.memSys.FillFor(br.req.Line); ok && t > c && t <= to {
+					sch = insertSched(sch, k, schedEntry{
+						enq:  t,
+						seq:  seq,
+						resp: dram.Response{Req: br.req, ReadyCycle: t + e.retLeg},
+					})
+				}
+			}
+		}
 		ti = e.snapTimeline(i, ti, c)
 		si = e.snapTrace(i, si, c)
 		c++
 	}
+	e.sched[i] = sch
 	// Remaining boundaries (SM done, or loop exhausted) see frozen gauges.
 	e.snapTimeline(i, ti, to)
 	e.snapTrace(i, si, to)
@@ -340,8 +524,12 @@ func (e *parallelEngine) epochEnd(cycle, maxCycles int64) int64 {
 	g := e.g
 	end := cycle + e.minLat
 	if e.deliver {
-		if t := g.memSys.NextFillCycle(); t >= 0 && t-1 < end {
-			end = t - 1
+		// Fills may pop inside the window; only epoch-start pending retries
+		// force the stricter stop-before-first-fill bound (package comment).
+		if g.memSys.PendingRetries() {
+			if t := g.memSys.NextFillCycle(); t >= 0 && t-1 < end {
+				end = t - 1
+			}
 		}
 	} else {
 		if t := g.memSys.NextResponseCycle(); t >= 0 && t-1 < end {
@@ -381,6 +569,19 @@ func (e *parallelEngine) prepareEpoch(from, to int64) {
 		e.doneAt[i] = -1
 		e.lastDeliv[i] = -1
 	}
+	if e.deliver {
+		// Build each SM's response schedule from the frozen event heap:
+		// every response an in-window event pop will produce, in (pop cycle,
+		// event seq, waiter index) order — per-SM lists stay sorted because
+		// the lookahead emits in that global order.
+		for i := range e.sched {
+			e.sched[i] = e.sched[i][:0]
+		}
+		for _, s := range e.g.memSys.PeekWindowResponses(to) {
+			sm := s.Resp.Req.SM
+			e.sched[sm] = append(e.sched[sm], schedEntry{enq: s.EnqueueCycle, seq: s.Seq, resp: s.Resp})
+		}
+	}
 	e.tlBound = appendBounds(e.tlBound[:0], from, to, e.g.timelineInterval)
 	var trIv int64
 	if e.traced {
@@ -402,17 +603,6 @@ func (e *parallelEngine) prepareEpoch(from, to int64) {
 func (e *parallelEngine) runEpoch(from, to int64) (int64, bool) {
 	e.prepareEpoch(from, to)
 	g := e.g
-	if e.deliver {
-		// Pre-enqueue the responses of every L2 hit event that will pop
-		// inside the window, in the exact order the serial loop would have
-		// enqueued them (no fill pops in the window, so hits are the only
-		// enqueues and the queue sequences match). Workers then deliver from
-		// their own queues; the barrier drain below pops the same events for
-		// real and skips this duplicate enqueue by ReadyCycle.
-		for _, r := range g.memSys.PeekHitResponses(to) {
-			g.net.Enqueue(r)
-		}
-	}
 	e.wg.Add(len(e.work))
 	for _, ch := range e.work {
 		ch <- epochSpan{from: from, to: to}
@@ -454,14 +644,22 @@ func (e *parallelEngine) runEpoch(from, to int64) (int64, bool) {
 			}
 		}
 	}
+	e.epochs++
+	e.epochCycles += end - from + 1
 	e.emitSamples(end)
 	return end, terminated
 }
 
 // drainEpochPlain replays the epoch's buffered injections into the memory
 // system in canonical order, interleaved with the memory system's own due
-// cycles, without tracing. Returns the last cycle the memory system did
-// work at (-1 if none) for the termination-cycle computation.
+// cycles, without tracing. Responses are NOT enqueued: every response an
+// in-window Tick can produce was already enqueued worker-side at its exact
+// serial cycle (scheduled at epoch start or mirrored by the issuing
+// worker), and events created by the replay itself pop after the window —
+// so these Ticks exist to evolve stats, retries, MSHR/DRAM-slot state, and
+// heap sequencing, bit-identically to serial. Returns the last cycle the
+// memory system did work at (-1 if none) for the termination-cycle
+// computation.
 func (e *parallelEngine) drainEpochPlain(from, to int64) int64 {
 	g := e.g
 	lastAct := int64(-1)
@@ -490,14 +688,7 @@ func (e *parallelEngine) drainEpochPlain(from, to int64) int64 {
 		c = next
 		if t := g.memSys.NextEventCycle(c - 1); t >= 0 && t <= c {
 			lastAct = c
-			for _, r := range g.memSys.Tick(c) {
-				// Responses ready inside the window are the L2 hits the
-				// lookahead already enqueued at epoch start (workers may
-				// have delivered them by now); anything later is new.
-				if r.ReadyCycle > to {
-					g.net.Enqueue(r)
-				}
-			}
+			g.memSys.Tick(c)
 		}
 		for i := range g.ports {
 			p := &g.ports[i]
@@ -517,7 +708,8 @@ func (e *parallelEngine) drainEpochPlain(from, to int64) int64 {
 // epoch cycle by cycle, emits the memory system's shared-stream events at
 // their serial position, splices each SM's local events and injections in
 // (cycle, SM, stream-position) order, and gathers interval samples at
-// boundary cycles.
+// boundary cycles. Traced epochs deliver nothing in-window, so here — and
+// only here — the barrier does enqueue the responses Tick produces.
 func (e *parallelEngine) drainEpochTraced(from, to int64) int64 {
 	g := e.g
 	lastAct := int64(-1)
@@ -669,10 +861,11 @@ func (e *parallelEngine) mergeStrays() {
 	}
 }
 
-// runParallel is RunContext's parallel twin: serial steps (the exact serial
-// loop body, with injections buffered and replayed in order) interleaved
-// with worker-fanned epochs. Observable behaviour — cycle count, stats,
-// traces, samples, cancellation — is bit-identical to the serial loop.
+// runParallel is RunContext's parallel twin: chained worker-fanned epochs
+// with serial steps (the exact serial loop body, with injections buffered
+// and replayed in order) only where a window would be shorter than
+// minEpochCycles. Observable behaviour — cycle count, stats, traces,
+// samples, cancellation — is bit-identical to the serial loop.
 func (g *GPU) runParallel(ctx context.Context, kernName string) (Result, error) {
 	e := newParallelEngine(g)
 	g.eng = e
@@ -689,7 +882,7 @@ func (g *GPU) runParallel(ctx context.Context, kernName string) (Result, error) 
 	var cycle int64
 	var nextCtxCheck int64
 	hitMax := false
-	for ; ; cycle++ {
+	for {
 		if cycle >= maxCycles {
 			hitMax = true
 			break
@@ -702,56 +895,61 @@ func (g *GPU) runParallel(ctx context.Context, kernName string) (Result, error) 
 			}
 			nextCtxCheck = cycle + ctxCheckInterval
 		}
-		if traced {
-			g.tr.Advance(cycle)
-			for _, lt := range g.parTr {
-				lt.Advance(cycle)
-			}
-		}
-		for _, r := range g.memSys.Tick(cycle) {
-			g.net.Enqueue(r)
-		}
-		allDone := true
-		for i, sm := range g.sms {
-			resp := g.net.Deliver(i, cycle)
-			for _, r := range resp {
-				sm.HandleFill(r, cycle)
-			}
-			if sm.Done() {
-				continue
-			}
-			allDone = false
-			if !g.noSkip && len(resp) == 0 && g.wake[i] > cycle {
-				sm.SkipIdle(cycle, cycle)
-				continue
-			}
-			sm.Tick(cycle)
-			if !g.noSkip {
-				g.wake[i] = sm.NextWakeup(cycle)
-			}
-		}
-		e.drainStep()
-		if g.timelineInterval > 0 && cycle%g.timelineInterval == 0 {
-			g.sampleTimeline(cycle)
-		}
-		if traced && g.tr.SampleDue(cycle) {
-			g.sampleTrace(cycle)
-		}
-		if allDone && g.memSys.Drained() && !g.net.Pending() {
-			break
-		}
-		if !g.noSkip {
-			cycle = g.skipTo(cycle, maxCycles)
-		}
-		from := cycle + 1
-		to := e.epochEnd(cycle, maxCycles)
-		if to-from+1 >= minEpochCycles {
-			final, terminated := e.runEpoch(from, to)
+		// Epoch-first: fan out the widest provable window starting at this
+		// cycle, falling back to one serial step only when the window is too
+		// short to pay for its barrier. Chaining epochs directly (rather
+		// than interleaving a mandatory serial step) is what lifts epoch
+		// coverage to ~minLat/(minLat+1) on epoch-friendly phases.
+		if to := e.epochEnd(cycle-1, maxCycles); to-cycle+1 >= minEpochCycles {
+			final, terminated := e.runEpoch(cycle, to)
 			cycle = final
 			if terminated {
 				break
 			}
+		} else {
+			if traced {
+				g.tr.Advance(cycle)
+				for _, lt := range g.parTr {
+					lt.Advance(cycle)
+				}
+			}
+			for _, r := range g.memSys.Tick(cycle) {
+				g.net.Enqueue(r)
+			}
+			allDone := true
+			for i, sm := range g.sms {
+				resp := g.net.Deliver(i, cycle)
+				for _, r := range resp {
+					sm.HandleFill(r, cycle)
+				}
+				if sm.Done() {
+					continue
+				}
+				allDone = false
+				if !g.noSkip && len(resp) == 0 && g.wake[i] > cycle {
+					sm.SkipIdle(cycle, cycle)
+					continue
+				}
+				sm.Tick(cycle)
+				if !g.noSkip {
+					g.wake[i] = sm.NextWakeup(cycle)
+				}
+			}
+			e.drainStep()
+			if g.timelineInterval > 0 && cycle%g.timelineInterval == 0 {
+				g.sampleTimeline(cycle)
+			}
+			if traced && g.tr.SampleDue(cycle) {
+				g.sampleTrace(cycle)
+			}
+			if allDone && g.memSys.Drained() && !g.net.Pending() {
+				break
+			}
 		}
+		if !g.noSkip {
+			cycle = g.skipTo(cycle, maxCycles)
+		}
+		cycle++
 	}
 	return g.finish(kernName, cycle, hitMax), nil
 }

@@ -3,6 +3,8 @@ package gpu
 import (
 	"fmt"
 	"testing"
+
+	"apres/internal/workspec"
 )
 
 // parallelWorkerCounts are the WithParallelSMs values the differential
@@ -49,4 +51,41 @@ func TestParallelNoSkipEquivalence(t *testing.T) {
 			requireSameRun(t, fmt.Sprintf("par%d+noskip", n), serial, par)
 		}
 	})
+}
+
+// TestFillStormParallelEquivalence runs the checked-in fill-storm spec —
+// uncoalesced never-reused streams whose DRAM fills complete nearly every
+// cycle — through the equivalence harness. It is the adversarial input for
+// in-epoch fill delivery: almost every epoch contains fill pops, so the
+// frozen-schedule and merge-mirroring machinery carries the run rather than
+// the (rarely exercised on Table I workloads) quiet-window fast path.
+func TestFillStormParallelEquivalence(t *testing.T) {
+	spec, err := workspec.ParseFile("../../examples/specs/fill_storm.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cc := range equivConfigs() {
+		c := matrixCase{
+			WName: w.Name(),
+			CName: cc.name,
+			Cfg:   cc.cfg,
+			Kern:  w.Kernel.Scaled(equivScale),
+		}
+		c.Cfg.NumSMs = parallelEquivSMs
+		t.Run(c.CName, func(t *testing.T) {
+			t.Parallel()
+			serial := runEquivCell(t, c, false)
+			serialTr := runEquivCell(t, c, true)
+			for _, n := range parallelWorkerCounts {
+				par := runEquivCell(t, c, false, WithParallelSMs(n))
+				requireSameRun(t, fmt.Sprintf("par%d", n), serial, par)
+				parTr := runEquivCell(t, c, true, WithParallelSMs(n))
+				requireSameRun(t, fmt.Sprintf("par%d+trace", n), serialTr, parTr)
+			}
+		})
+	}
 }

@@ -14,6 +14,7 @@ import (
 	"apres/internal/config"
 	"apres/internal/gpu"
 	"apres/internal/resultstore"
+	"apres/internal/stats"
 	"apres/internal/trace"
 	"apres/internal/twin"
 	"apres/internal/version"
@@ -335,7 +336,14 @@ func (r *Runner) runResolved(ctx context.Context, rw resolved, tag, label string
 		if r.cache == nil {
 			r.cache = make(map[runKey]gpu.Result)
 		}
-		r.cache[k] = fl.res
+		// Memoise without EngineStats: the cached value stands for the
+		// simulated result — engine-independent by the bit-identical
+		// guarantee — not for any particular execution of it. Only the
+		// caller that actually ran the simulation (fl.res) sees its epoch
+		// counters.
+		cached := fl.res
+		cached.EngineStats = stats.EngineStats{}
+		r.cache[k] = cached
 	}
 	delete(r.inflight, k)
 	r.mu.Unlock()
@@ -388,13 +396,19 @@ func (r *Runner) runOnce(ctx context.Context, rw resolved, label string, cfg con
 		return gpu.Result{}, fmt.Errorf("harness: %s/%s: %w", rw.id, label, err)
 	}
 	if storeKey != "" {
+		// Stored entries carry the simulated result only: EngineStats is
+		// per-execution metadata (and sm_jobs never enters store keys), so
+		// daemons running the same workload with different engines must
+		// persist byte-identical entries.
+		stored := res
+		stored.EngineStats = stats.EngineStats{}
 		if err := r.Store.Put(storeKey, resultstore.Entry{
 			Workload:  rw.id,
 			Scale:     r.Scale,
 			LoadStats: loadStats,
 			Version:   rw.vstamp,
 			Engine:    twin.EngineCycleAccurate,
-			Result:    res,
+			Result:    stored,
 		}); err != nil {
 			// A persistence failure must not fail the run; count it so
 			// metrics surface a sick store.

@@ -224,6 +224,17 @@ func (c *Cache) InFlight(l arch.LineAddr) bool {
 	return ok
 }
 
+// MSHRWaiters returns the waiter list of the outstanding entry for line l,
+// or nil when none is in flight. Read-only peek for the memory system's
+// epoch lookahead; the slice aliases the live entry and must not be held
+// across an Access or Fill.
+func (c *Cache) MSHRWaiters(l arch.LineAddr) []arch.MemReq {
+	if e, ok := c.mshr[l]; ok {
+		return e.Waiters
+	}
+	return nil
+}
+
 // Access performs one demand or prefetch access.
 //
 // Demand semantics: a hit updates LRU and prefetch-use state; a miss merges

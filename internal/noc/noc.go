@@ -76,6 +76,14 @@ func New(numSMs, bytesPerCycle int, st *stats.Stats) *Network {
 }
 
 // Enqueue routes a completed response toward its SM.
+//
+// Concurrency contract: Enqueue touches only the queue indexed by the
+// response's destination SM (plus the shared tracer, when one is attached).
+// In untraced parallel epochs each worker enqueues its own SM's scheduled
+// responses at their serial enqueue cycles, which is safe because workers
+// own disjoint SMs and the tracer is nil; traced runs keep Enqueue
+// single-threaded (serial steps and epoch barriers only) so the shared
+// KindNoCInject stream retains its exact serial order.
 func (n *Network) Enqueue(r dram.Response) {
 	q := &n.queues[r.Req.SM]
 	if q.head > 0 && len(q.buf) == cap(q.buf) {

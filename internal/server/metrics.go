@@ -10,6 +10,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"apres/internal/gpu"
 )
 
 // latencyBuckets are the per-config simulation latency histogram bounds in
@@ -61,15 +63,39 @@ type metrics struct {
 	// twinBound histograms the relative-IPC error bound of twin-served
 	// responses (how tight the served approximations were).
 	twinBound *histogram
+	// epochCoverage gauges the most recent completed parallel run's epoch
+	// coverage (fraction of simulated cycles inside worker-fanned epochs,
+	// the run's Amdahl ceiling) and parallelRuns counts such runs, both by
+	// worker count. Serial and cache-served answers carry no engine stats
+	// and are not recorded.
+	epochCoverage map[int]float64
+	parallelRuns  map[int]int64
 }
 
 func newMetrics() *metrics {
 	return &metrics{
-		requests:     make(map[string]int64),
-		simLatency:   make(map[string]*histogram),
-		engineServed: make(map[string]int64),
-		twinBound:    newHistogram(boundBuckets),
+		requests:      make(map[string]int64),
+		simLatency:    make(map[string]*histogram),
+		engineServed:  make(map[string]int64),
+		twinBound:     newHistogram(boundBuckets),
+		epochCoverage: make(map[int]float64),
+		parallelRuns:  make(map[int]int64),
 	}
+}
+
+// observeEpochs records a completed parallel-engine run's epoch stats.
+// Results without engine stats (serial runs, cache or store hits, twin
+// answers) are skipped — the gauge always describes an actual parallel
+// execution.
+func (m *metrics) observeEpochs(res gpu.Result) {
+	es := res.EngineStats
+	if es.Epochs == 0 {
+		return
+	}
+	m.mu.Lock()
+	m.epochCoverage[es.SMJobs] = es.Coverage(res.Cycles)
+	m.parallelRuns[es.SMJobs]++
+	m.mu.Unlock()
 }
 
 // countEngine records one engine-selected answer: the serving engine, its
@@ -186,4 +212,20 @@ func (m *metrics) render(b *strings.Builder, version string) {
 	fmt.Fprintf(b, "apresd_twin_error_bound_bucket{le=\"+Inf\"} %d\n", m.twinBound.count)
 	fmt.Fprintf(b, "apresd_twin_error_bound_sum %g\n", m.twinBound.sum)
 	fmt.Fprintf(b, "apresd_twin_error_bound_count %d\n", m.twinBound.count)
+
+	jobs := make([]int, 0, len(m.parallelRuns))
+	for j := range m.parallelRuns {
+		jobs = append(jobs, j)
+	}
+	sort.Ints(jobs)
+	fmt.Fprintf(b, "# HELP apresd_epoch_coverage Epoch coverage (fraction of simulated cycles inside parallel epochs) of the most recent parallel run, by worker count.\n")
+	fmt.Fprintf(b, "# TYPE apresd_epoch_coverage gauge\n")
+	for _, j := range jobs {
+		fmt.Fprintf(b, "apresd_epoch_coverage{smjobs=\"%d\"} %g\n", j, m.epochCoverage[j])
+	}
+	fmt.Fprintf(b, "# HELP apresd_parallel_runs_total Completed parallel-engine runs by worker count.\n")
+	fmt.Fprintf(b, "# TYPE apresd_parallel_runs_total counter\n")
+	for _, j := range jobs {
+		fmt.Fprintf(b, "apresd_parallel_runs_total{smjobs=\"%d\"} %d\n", j, m.parallelRuns[j])
+	}
 }

@@ -13,8 +13,11 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
+
+	"apres/internal/stats"
 )
 
 // stormCells are the (workload, config) pairs the storm covers; with the
@@ -89,6 +92,10 @@ func TestParallelRequestStormIdenticalResults(t *testing.T) {
 		if r.out.Key == "" {
 			t.Fatalf("%s/%s: response without a store key", stormCells[r.cell].app, stormCells[r.cell].cfg)
 		}
+		// EngineStats is execution metadata: the request that actually
+		// simulated reports its epoch counts, while dedup followers served
+		// from the memo see zeroes. Equivalence is over everything else.
+		r.out.Result.EngineStats = stats.EngineStats{}
 		res, err := json.Marshal(r.out.Result)
 		if err != nil {
 			t.Fatal(err)
@@ -160,5 +167,39 @@ func TestSerialAndParallelDaemonsAgree(t *testing.T) {
 			t.Fatalf("%s/%s: stored entries diverge between serial and parallel daemons:\n%s\nvs\n%s",
 				c.app, c.cfg, sEntry, pEntry)
 		}
+	}
+
+	// The parallel daemon executed real parallel runs, so its /metrics must
+	// expose the epoch-coverage gauge and run counter for its worker count
+	// (8 requested, clamped to the runner's 5 SMs); the serial daemon must
+	// expose neither.
+	resp, err := http.Get(parallel.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`apresd_epoch_coverage{smjobs="5"}`,
+		`apresd_parallel_runs_total{smjobs="5"} 8`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("parallel daemon /metrics missing %q", want)
+		}
+	}
+	resp, err = http.Get(serial.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sbody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(sbody), "apresd_epoch_coverage{") {
+		t.Error("serial daemon /metrics reports an epoch-coverage gauge for a run it never made")
 	}
 }

@@ -415,6 +415,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.countEngine(out.Engine, out.Escalated, out.Bound.IPCRel)
+	s.metrics.observeEpochs(out.Result)
 	resp := SimulateResponse{
 		Workload:  tgt.name,
 		Config:    label,
@@ -508,6 +509,7 @@ func (s *Server) handleTracedSimulate(w http.ResponseWriter, r *http.Request, re
 	s.traces[id] = path
 	s.traceMu.Unlock()
 	s.metrics.countEngine(harness.EngineCycleAccurate, escalated, 0)
+	s.metrics.observeEpochs(res)
 	writeJSON(w, http.StatusOK, SimulateResponse{
 		Workload:  tgt.name,
 		Config:    label,
@@ -694,6 +696,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 				cell.Error = err.Error()
 			} else {
 				s.metrics.countEngine(out.Engine, out.Escalated, out.Bound.IPCRel)
+				s.metrics.observeEpochs(out.Result)
 				cell.Cycles = out.Result.Cycles
 				cell.IPC = out.Result.IPC()
 				cell.L1HitRate = out.Result.Total.L1HitRate()

@@ -196,3 +196,37 @@ func (s *Stats) AvgMemLatency() float64 {
 	}
 	return float64(s.MemLatencySum) / float64(s.MemLatencyCount)
 }
+
+// EngineStats describes how the engine executed a run — parallel epoch
+// counts and the cycles they covered. It is execution metadata, not
+// simulated state: serial and parallel runs of the same workload produce
+// bit-identical simulated results but different EngineStats (a serial run's
+// is all zero), so the equivalence battery compares everything in a Result
+// EXCEPT this block.
+type EngineStats struct {
+	// SMJobs is the parallel worker count the run used (0 for serial).
+	SMJobs int
+	// Epochs is the number of parallel epochs executed.
+	Epochs int64
+	// EpochCycles is the total number of simulated cycles covered by those
+	// epochs. EpochCycles / total cycles is the run's epoch coverage — the
+	// Amdahl ceiling for multicore scaling.
+	EpochCycles int64
+}
+
+// Coverage returns the fraction of totalCycles executed inside parallel
+// epochs.
+func (e *EngineStats) Coverage(totalCycles int64) float64 {
+	if totalCycles <= 0 {
+		return 0
+	}
+	return float64(e.EpochCycles) / float64(totalCycles)
+}
+
+// AvgEpochCycles returns the mean epoch width in cycles.
+func (e *EngineStats) AvgEpochCycles() float64 {
+	if e.Epochs == 0 {
+		return 0
+	}
+	return float64(e.EpochCycles) / float64(e.Epochs)
+}
