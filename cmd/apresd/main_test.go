@@ -1,0 +1,53 @@
+package main
+
+// Flag-role validation: a command line mixing worker-only and
+// coordinator-only flags must be rejected up front with every offending
+// flag named, deterministically ordered.
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestValidateFlagRoles(t *testing.T) {
+	cases := []struct {
+		name        string
+		coordinator bool
+		set         []string
+		want        []string
+	}{
+		{"worker with worker flags", false, []string{"addr", "store", "jobs", "shed-watermark"}, nil},
+		{"coordinator with coordinator flags", true, []string{"addr", "nodes", "cell-timeout", "probe-interval", "drain"}, nil},
+		{"worker with coordinator flags", false, []string{"nodes", "probe-interval"}, []string{"-nodes", "-probe-interval"}},
+		{"coordinator with worker flags", true, []string{"store", "scale", "engine"}, []string{"-engine", "-scale", "-store"}},
+		{"coordinator with every worker flag", true, workerOnly,
+			[]string{"-engine", "-jobs", "-scale", "-shed-watermark", "-smjobs", "-sms", "-store", "-store-mem", "-timeout", "-tolerance", "-tracedir"}},
+		{"defaults only", true, nil, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			set := make(map[string]bool, len(tc.set))
+			for _, f := range tc.set {
+				set[f] = true
+			}
+			got := validateFlagRoles(tc.coordinator, set)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("validateFlagRoles(%v, %v) = %v, want %v", tc.coordinator, tc.set, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestRolePartitionsAreDisjoint(t *testing.T) {
+	// A flag claimed by both roles would always be rejected somewhere; the
+	// partitions must never overlap.
+	seen := make(map[string]bool)
+	for _, name := range workerOnly {
+		seen[name] = true
+	}
+	for _, name := range coordinatorOnly {
+		if seen[name] {
+			t.Errorf("flag %q is in both role partitions", name)
+		}
+	}
+}

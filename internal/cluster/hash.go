@@ -1,0 +1,45 @@
+// Package cluster shards apresd sweep matrices across a pool of worker
+// daemons and merges the cells back into a single response identical to a
+// single-node run. Placement is rendezvous (highest-random-weight) hashing
+// over each cell's identity, so repeated sweeps land on warm memo/store
+// state and adding or removing a node only remaps the cells that node
+// owned. Dispatch tolerates node loss (capped exponential backoff with
+// jitter, automatic re-dispatch of a dead node's in-flight cells to
+// survivors) and treats a worker's 429 load-shed response as a rebalance
+// signal, never a failure: a sweep completes, degraded, as long as one
+// worker lives.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// score is node n's rendezvous weight for cell key k. SHA-256 keeps
+// placement stable across coordinator restarts and process boundaries —
+// no seeded process-local state enters the hash.
+func score(node, key string) uint64 {
+	h := sha256.New()
+	h.Write([]byte(node))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	sum := h.Sum(nil)
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Rank orders nodes by descending rendezvous score for key: Rank(...)[0]
+// owns the cell, and each subsequent entry is the next choice when its
+// predecessors are dead or shedding. Ties (vanishingly unlikely) break on
+// node name so the order is total and deterministic.
+func Rank(key string, nodes []string) []string {
+	out := append([]string(nil), nodes...)
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := score(out[i], key), score(out[j], key)
+		if si != sj {
+			return si > sj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}

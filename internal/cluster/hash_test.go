@@ -1,0 +1,98 @@
+package cluster
+
+// Rendezvous-hashing properties: determinism across calls and across node
+// orderings, the minimal-remap guarantee (removing a node only moves the
+// cells that node owned), and a coarse distribution sanity check.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("W%d\x00cfg%d\x00false", i, i%3)
+	}
+	return keys
+}
+
+func TestRankDeterministicAndOrderIndependent(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1"}
+	shuffled := []string{"http://c:1", "http://a:1", "http://b:1"}
+	for _, key := range testKeys(50) {
+		r1 := Rank(key, nodes)
+		r2 := Rank(key, nodes)
+		r3 := Rank(key, shuffled)
+		if !reflect.DeepEqual(r1, r2) {
+			t.Fatalf("Rank(%q) not deterministic: %v vs %v", key, r1, r2)
+		}
+		if !reflect.DeepEqual(r1, r3) {
+			t.Fatalf("Rank(%q) depends on input order: %v vs %v", key, r1, r3)
+		}
+		if len(r1) != len(nodes) {
+			t.Fatalf("Rank(%q) = %v, lost nodes", key, r1)
+		}
+	}
+}
+
+func TestRankDoesNotMutateInput(t *testing.T) {
+	nodes := []string{"http://c:1", "http://a:1", "http://b:1"}
+	want := append([]string(nil), nodes...)
+	Rank("some-cell", nodes)
+	if !reflect.DeepEqual(nodes, want) {
+		t.Fatalf("Rank mutated its input: %v", nodes)
+	}
+}
+
+func TestRankMinimalRemapOnNodeLoss(t *testing.T) {
+	// Removing one node must remap exactly the cells that node owned;
+	// every other cell keeps its owner. This is the property that keeps
+	// the surviving workers' memo/store state warm through a failure.
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	victim := "http://b:1"
+	var survivors []string
+	for _, n := range nodes {
+		if n != victim {
+			survivors = append(survivors, n)
+		}
+	}
+	keys := testKeys(200)
+	moved := 0
+	for _, key := range keys {
+		before := Rank(key, nodes)[0]
+		after := Rank(key, survivors)[0]
+		if before == victim {
+			moved++
+			if after == victim {
+				t.Fatalf("key %q still owned by removed node", key)
+			}
+			// The orphaned cell must fall to the next-ranked survivor.
+			if want := Rank(key, nodes)[1]; after != want {
+				t.Fatalf("key %q remapped to %s, want next-ranked %s", key, after, want)
+			}
+		} else if before != after {
+			t.Fatalf("key %q moved %s -> %s though its owner survived", key, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("victim owned no keys out of 200; distribution is broken")
+	}
+}
+
+func TestRankSpreadsLoad(t *testing.T) {
+	// With 300 keys over 3 nodes a uniform hash puts ~100 on each; accept
+	// anything within a generous 3x band — this guards against gross bias
+	// (e.g. all keys on one node), not statistical perfection.
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1"}
+	owned := map[string]int{}
+	for _, key := range testKeys(300) {
+		owned[Rank(key, nodes)[0]]++
+	}
+	for _, n := range nodes {
+		if owned[n] < 33 || owned[n] > 200 {
+			t.Fatalf("node %s owns %d of 300 keys; distribution %v", n, owned[n], owned)
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"apres/internal/gpu"
 	"apres/internal/resultstore"
 	"apres/internal/twin"
+	"apres/internal/workloads"
 	"apres/internal/workspec"
 )
 
@@ -220,6 +221,112 @@ func (r *Runner) runEngine(ctx context.Context, rw resolved, tag, label string, 
 	}
 }
 
+// twinQuery applies the Runner's machine overrides (SMs, Adjust) and scale
+// qualification to one resolved workload, returning the (id, workload,
+// config) triple every twin query on this Runner must use. Anchors are
+// fitted at one iteration scale; a run at any other scale is off the
+// calibration set, so the id is qualified out of the anchor map and the
+// prediction carries honest unanchored bounds.
+func (r *Runner) twinQuery(rw resolved, cfg config.Config) (string, workloads.Workload, config.Config, error) {
+	if r.SMs > 0 {
+		cfg.NumSMs = r.SMs
+	}
+	if r.Adjust != nil {
+		r.Adjust(&cfg)
+		if err := cfg.Validate(); err != nil {
+			return "", workloads.Workload{}, cfg, err
+		}
+	}
+	id := rw.id
+	if r.Scale != r.Twin().Calibration().Scale {
+		id = fmt.Sprintf("%s@scale=%g", rw.id, r.Scale)
+	}
+	w := rw.w
+	if r.Scale != 1 {
+		w.Kernel = w.Kernel.Scaled(r.Scale)
+	}
+	return id, w, cfg, nil
+}
+
+// TwinSpeedups answers the Figure-10 scheduler-variant axis for one
+// workload analytically: per-variant IPC speedup over the LRR baseline
+// built from the named configuration's machine geometry. The variants are
+// twin.SchedulerVariants; answers cost microseconds and never occupy the
+// worker pool.
+func (r *Runner) TwinSpeedups(app, cfgName string) (map[string]float64, error) {
+	cfg, err := NamedConfig(cfgName)
+	if err != nil {
+		return nil, err
+	}
+	rw, err := resolveNamed(app)
+	if err != nil {
+		return nil, err
+	}
+	id, w, cfg, err := r.twinQuery(rw, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return r.Twin().Speedups(id, w, cfg)
+}
+
+// TwinDRAMPoint is one point of an analytically predicted DRAM-bandwidth
+// sweep (the SweepDRAMBandwidth axis answered by the twin).
+type TwinDRAMPoint struct {
+	// Interval is the DRAM per-partition service interval in cycles
+	// (smaller = more bandwidth).
+	Interval int `json:"interval"`
+	// IPC is the twin-predicted throughput at this interval.
+	IPC float64 `json:"ipc"`
+	// Speedup is predicted execution time relative to the sweep's first
+	// point, mirroring harness.Sweep semantics.
+	Speedup float64 `json:"speedup"`
+}
+
+// TwinDRAMBandwidth predicts the DRAM-bandwidth sensitivity of one
+// workload analytically: the named configuration evaluated at each
+// per-partition service interval, with speedups normalised to the first
+// point like SweepDRAMBandwidth.
+func (r *Runner) TwinDRAMBandwidth(app, cfgName string, intervals []int) ([]TwinDRAMPoint, error) {
+	if len(intervals) == 0 {
+		return nil, fmt.Errorf("harness: no DRAM service intervals given")
+	}
+	cfg, err := NamedConfig(cfgName)
+	if err != nil {
+		return nil, err
+	}
+	rw, err := resolveNamed(app)
+	if err != nil {
+		return nil, err
+	}
+	id, w, cfg, err := r.twinQuery(rw, cfg)
+	if err != nil {
+		return nil, err
+	}
+	m := r.Twin()
+	out := make([]TwinDRAMPoint, 0, len(intervals))
+	var firstCycles int64
+	for _, v := range intervals {
+		c := cfg
+		c.DRAMServiceInterval = v
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("harness: DRAM interval %d: %w", v, err)
+		}
+		p, err := m.Predict(id, w, c)
+		if err != nil {
+			return nil, err
+		}
+		if firstCycles == 0 {
+			firstCycles = p.Cycles
+		}
+		out = append(out, TwinDRAMPoint{
+			Interval: v,
+			IPC:      p.IPC,
+			Speedup:  float64(firstCycles) / float64(p.Cycles),
+		})
+	}
+	return out, nil
+}
+
 // twinServe answers one run from the analytical twin, store-first: an exact
 // entry under the run's key is strictly better than a prediction and is
 // served as cycle-accurate; a twin entry is served with its stored bounds;
@@ -227,14 +334,9 @@ func (r *Runner) runEngine(ctx context.Context, rw resolved, tag, label string, 
 // queries never take a worker-pool slot and never enter the exact memo
 // cache — a prediction is microseconds, and the memo must stay exact-only.
 func (r *Runner) twinServe(rw resolved, cfg config.Config) (EngineOutcome, error) {
-	if r.SMs > 0 {
-		cfg.NumSMs = r.SMs
-	}
-	if r.Adjust != nil {
-		r.Adjust(&cfg)
-		if err := cfg.Validate(); err != nil {
-			return EngineOutcome{}, err
-		}
+	id, w, cfg, err := r.twinQuery(rw, cfg)
+	if err != nil {
+		return EngineOutcome{}, err
 	}
 	var storeKey string
 	if r.Store != nil && r.Adjust == nil {
@@ -254,19 +356,7 @@ func (r *Runner) twinServe(rw resolved, cfg config.Config) (EngineOutcome, error
 		}
 	}
 
-	m := r.Twin()
-	// Anchors are fitted at one iteration scale; a run at any other scale
-	// is off the calibration set, so qualify the id out of the anchor map
-	// and let the prediction carry honest unanchored bounds.
-	id := rw.id
-	if r.Scale != m.Calibration().Scale {
-		id = fmt.Sprintf("%s@scale=%g", rw.id, r.Scale)
-	}
-	w := rw.w
-	if r.Scale != 1 {
-		w.Kernel = w.Kernel.Scaled(r.Scale)
-	}
-	p, err := m.Predict(id, w, cfg)
+	p, err := r.Twin().Predict(id, w, cfg)
 	if err != nil {
 		return EngineOutcome{}, err
 	}

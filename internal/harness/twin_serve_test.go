@@ -1,0 +1,100 @@
+package harness
+
+// Tests for the analytically-served twin queries apresd exposes over HTTP:
+// scheduler-variant speedups and the DRAM-bandwidth sensitivity sweep.
+// Both must be deterministic, simulation-free, and fail precisely on bad
+// inputs.
+
+import (
+	"reflect"
+	"testing"
+
+	"apres/internal/twin"
+)
+
+func TestTwinSpeedupsServesAllVariants(t *testing.T) {
+	r := testRunner()
+	sp, err := r.TwinSpeedups("KM", "base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp) != len(twin.SchedulerVariants) {
+		t.Fatalf("speedups %v, want one entry per variant %v", sp, twin.SchedulerVariants)
+	}
+	for _, v := range twin.SchedulerVariants {
+		s, ok := sp[v]
+		if !ok || s <= 0 {
+			t.Fatalf("variant %q: speedup %g, ok=%v", v, s, ok)
+		}
+	}
+	if sp["lrr"] != 1 {
+		t.Fatalf("lrr speedup %g, want exactly 1 (the reference variant)", sp["lrr"])
+	}
+	again, err := r.TwinSpeedups("KM", "base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sp, again) {
+		t.Fatalf("speedups not deterministic: %v vs %v", sp, again)
+	}
+	if st := r.Stats(); st.Simulations != 0 {
+		t.Fatalf("speedup queries ran %d simulations, want 0", st.Simulations)
+	}
+}
+
+func TestTwinSpeedupsErrors(t *testing.T) {
+	r := testRunner()
+	if _, err := r.TwinSpeedups("NOPE", "base"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := r.TwinSpeedups("KM", "NOPE"); err == nil {
+		t.Error("unknown config accepted")
+	}
+}
+
+func TestTwinDRAMBandwidthSweep(t *testing.T) {
+	r := testRunner()
+	pts, err := r.TwinDRAMBandwidth("BFS", "base", []int{1, 2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points %v, want 4", pts)
+	}
+	if pts[0].Interval != 1 || pts[0].Speedup != 1 {
+		t.Fatalf("first point %+v, want interval 1 with speedup normalized to 1", pts[0])
+	}
+	for i, p := range pts {
+		if p.IPC <= 0 || p.Speedup <= 0 {
+			t.Fatalf("point %d degenerate: %+v", i, p)
+		}
+	}
+	// A wider service interval (scarcer DRAM bandwidth) must never predict
+	// more performance than interval 1 on a memory-bound workload.
+	if pts[3].Speedup > pts[0].Speedup+1e-9 {
+		t.Fatalf("interval 8 speedup %g exceeds interval 1 speedup %g", pts[3].Speedup, pts[0].Speedup)
+	}
+	again, err := r.TwinDRAMBandwidth("BFS", "base", []int{1, 2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pts, again) {
+		t.Fatal("DRAM sweep not deterministic")
+	}
+	if st := r.Stats(); st.Simulations != 0 {
+		t.Fatalf("DRAM queries ran %d simulations, want 0", st.Simulations)
+	}
+}
+
+func TestTwinDRAMBandwidthErrors(t *testing.T) {
+	r := testRunner()
+	if _, err := r.TwinDRAMBandwidth("KM", "base", nil); err == nil {
+		t.Error("empty interval list accepted")
+	}
+	if _, err := r.TwinDRAMBandwidth("NOPE", "base", []int{1}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := r.TwinDRAMBandwidth("KM", "base", []int{0}); err == nil {
+		t.Error("non-positive interval accepted")
+	}
+}

@@ -60,6 +60,8 @@ type metrics struct {
 	engineServed map[string]int64
 	// escalations counts auto-engine runs that fell back to the simulator.
 	escalations int64
+	// shed counts requests rejected 429 by queue-depth admission control.
+	shed int64
 	// twinBound histograms the relative-IPC error bound of twin-served
 	// responses (how tight the served approximations were).
 	twinBound *histogram
@@ -109,6 +111,13 @@ func (m *metrics) countEngine(engine string, escalated bool, bound float64) {
 	if engine == "twin" {
 		m.twinBound.observe(bound)
 	}
+	m.mu.Unlock()
+}
+
+// countShed records one request shed by admission control.
+func (m *metrics) countShed() {
+	m.mu.Lock()
+	m.shed++
 	m.mu.Unlock()
 }
 
@@ -199,6 +208,10 @@ func (m *metrics) render(b *strings.Builder, version string) {
 	fmt.Fprintf(b, "# HELP apresd_engine_escalations_total Auto-engine runs escalated to the cycle-accurate simulator.\n")
 	fmt.Fprintf(b, "# TYPE apresd_engine_escalations_total counter\n")
 	fmt.Fprintf(b, "apresd_engine_escalations_total %d\n", m.escalations)
+
+	fmt.Fprintf(b, "# HELP apresd_shed_total Requests rejected 429 by queue-depth admission control.\n")
+	fmt.Fprintf(b, "# TYPE apresd_shed_total counter\n")
+	fmt.Fprintf(b, "apresd_shed_total %d\n", m.shed)
 
 	fmt.Fprintf(b, "# HELP apresd_twin_error_bound Relative-IPC error bound of twin-served responses.\n")
 	fmt.Fprintf(b, "# TYPE apresd_twin_error_bound histogram\n")

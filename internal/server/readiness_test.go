@@ -1,0 +1,283 @@
+package server
+
+// Readiness, admission-control, and twin-endpoint tests: the /healthz
+// document a cluster coordinator routes on (pool gauges, store
+// reachability, drain flip to 503), the queue-depth 429 shed gate, and the
+// analytically-served /v1/twin endpoints.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"apres/internal/harness"
+	"apres/internal/resultstore"
+	"apres/internal/twin"
+)
+
+func TestHealthzReadinessDocument(t *testing.T) {
+	r := harness.NewRunner(0.05, 2)
+	r.Jobs = 8
+	st, err := resultstore.Open(t.TempDir(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Store = st
+	s := New(Options{Runner: r, ShedWatermark: 3})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	var h HealthResponse
+	if derr := json.NewDecoder(resp.Body).Decode(&h); derr != nil {
+		t.Fatal(derr)
+	}
+	if h.Status != "ok" || h.Draining {
+		t.Fatalf("status %q draining %v, want ok/false", h.Status, h.Draining)
+	}
+	if h.Pool.Capacity != 8 || h.Pool.Busy != 0 || h.Pool.QueueDepth != 0 {
+		t.Fatalf("pool gauges %+v, want capacity 8, idle", h.Pool)
+	}
+	if !h.Store.Attached || !h.Store.Reachable || h.Store.Dir == "" {
+		t.Fatalf("store readiness %+v, want attached+reachable with dir", h.Store)
+	}
+	if h.ShedWatermark != 3 {
+		t.Fatalf("shedWatermark %d, want 3", h.ShedWatermark)
+	}
+}
+
+func TestHealthzWithoutStore(t *testing.T) {
+	s, _ := newTestServer(t, "", 0)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Store.Attached || h.Store.Reachable {
+		t.Fatalf("store readiness %+v, want detached", h.Store)
+	}
+}
+
+func TestHealthzDrainingReturns503(t *testing.T) {
+	// Once Serve begins its drain the readiness probe must answer 503 so
+	// routers stop sending work before the listener closes.
+	s, _ := newTestServer(t, "", 0)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ctx, l, 10*time.Second) }()
+	url := fmt.Sprintf("http://%s", l.Addr())
+	for i := 0; ; i++ {
+		resp, err := http.Get(url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if i > 100 {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	if err := <-served; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	// The listener is gone; probe the handler directly — the draining flag
+	// must have flipped before Serve returned.
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz: %d, want 503", rec.Code)
+	}
+	var h HealthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "draining" || !h.Draining {
+		t.Fatalf("draining body: %+v", h)
+	}
+}
+
+func TestShedWatermark429(t *testing.T) {
+	// Jobs=1 and watermark=1: with one full-scale simulation holding the
+	// slot and more queued behind it, a fresh request must be shed with
+	// 429 + Retry-After instead of deepening the backlog.
+	r := harness.NewRunner(1, 0)
+	r.Jobs = 1
+	s := New(Options{Runner: r, SimTimeout: 30 * time.Second, ShedWatermark: 1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct configs defeat singleflight so each request needs
+			// its own pool slot. Errors are expected here: teardown severs
+			// these connections mid-simulation.
+			cfg := []string{"base", "apres", "ccws", "mascar"}[i]
+			buf, _ := json.Marshal(SimulateRequest{Workload: "BP", Config: cfg})
+			resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", bytes.NewReader(buf))
+			if err == nil {
+				resp.Body.Close()
+			}
+		}(i)
+	}
+	// Severing the client connections cancels the in-flight simulations
+	// (simCtx derives from the request context), so teardown is prompt.
+	defer func() { ts.CloseClientConnections(); wg.Wait() }()
+
+	// Wait for the backlog to form: 1 busy + >=1 waiting.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, busy, waiting := r.PoolGauges()
+		if busy >= 1 && waiting >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("backlog never formed: busy=%d waiting=%d", busy, waiting)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, data := postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{Workload: "KM", Config: "base"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 (%s)", resp.StatusCode, data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	// Sweeps pass through the same gate.
+	resp2, data2 := postJSON(t, ts.URL+"/v1/sweep", SweepRequest{Workloads: []string{"KM"}, Configs: []string{"base"}})
+	if resp2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("sweep status %d, want 429 (%s)", resp2.StatusCode, data2)
+	}
+}
+
+func TestTwinSpeedupsEndpoint(t *testing.T) {
+	s, _ := newTestServer(t, "", 0)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/twin/speedups?workload=KM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out struct {
+		Workload string             `json:"workload"`
+		Config   string             `json:"config"`
+		Engine   string             `json:"engine"`
+		Variants []string           `json:"variants"`
+		Speedups map[string]float64 `json:"speedups"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Workload != "KM" || out.Config != "base" || out.Engine != harness.EngineTwin {
+		t.Fatalf("envelope: %+v", out)
+	}
+	if len(out.Variants) != len(twin.SchedulerVariants) {
+		t.Fatalf("variants %v", out.Variants)
+	}
+	for _, v := range twin.SchedulerVariants {
+		if _, ok := out.Speedups[v]; !ok {
+			t.Fatalf("missing variant %q in %v", v, out.Speedups)
+		}
+	}
+	if out.Speedups["lrr"] != 1 {
+		t.Fatalf("lrr speedup %g, want exactly 1 (self-normalized)", out.Speedups["lrr"])
+	}
+	if out.Speedups["apres"] <= 0 {
+		t.Fatalf("apres speedup %g, want > 0", out.Speedups["apres"])
+	}
+
+	for _, bad := range []string{
+		"/v1/twin/speedups",
+		"/v1/twin/speedups?workload=NOPE",
+		"/v1/twin/speedups?workload=KM&config=NOPE",
+	} {
+		resp, err := http.Get(ts.URL + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+func TestTwinDRAMEndpoint(t *testing.T) {
+	s, _ := newTestServer(t, "", 0)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/twin/dram?workload=BFS&intervals=1,2,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out struct {
+		Points []harness.TwinDRAMPoint `json:"points"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Points) != 3 {
+		t.Fatalf("points %v, want 3", out.Points)
+	}
+	if out.Points[0].Interval != 1 || out.Points[0].Speedup != 1 {
+		t.Fatalf("first point %+v, want interval 1 normalized to speedup 1", out.Points[0])
+	}
+	for _, p := range out.Points {
+		if p.IPC <= 0 {
+			t.Fatalf("point %+v has non-positive IPC", p)
+		}
+	}
+
+	for _, bad := range []string{
+		"/v1/twin/dram",
+		"/v1/twin/dram?workload=KM&intervals=0",
+		"/v1/twin/dram?workload=KM&intervals=two",
+	} {
+		resp, err := http.Get(ts.URL + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}

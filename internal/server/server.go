@@ -37,6 +37,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -75,6 +76,12 @@ type Options struct {
 	// DefaultTolerance is the auto engine's escalation threshold for
 	// requests that do not set one; 0 uses the calibration default.
 	DefaultTolerance float64
+	// ShedWatermark enables queue-depth-aware admission control: when the
+	// worker pool already has at least this many callers waiting for a
+	// slot, new simulate/sweep requests are shed with 429 + Retry-After
+	// instead of deepening the backlog. 0 disables shedding. A cluster
+	// coordinator treats the 429 as a rebalance signal, not a failure.
+	ShedWatermark int
 }
 
 // Server is the apresd HTTP handler. Create with New; it is safe for
@@ -88,6 +95,12 @@ type Server struct {
 	traceDir  string
 	defEngine string
 	defTol    float64
+	shedmark  int
+
+	// draining flips once Serve begins its graceful shutdown, turning
+	// /healthz into a 503 so load balancers and cluster coordinators stop
+	// routing here before the drain completes.
+	draining atomic.Bool
 
 	traceMu  sync.Mutex
 	traces   map[string]string // trace id -> artifact path
@@ -105,12 +118,15 @@ func New(opts Options) *Server {
 		traceDir:  opts.TraceDir,
 		defEngine: opts.DefaultEngine,
 		defTol:    opts.DefaultTolerance,
+		shedmark:  opts.ShedWatermark,
 		traces:    make(map[string]string),
 	}
 	s.mux.HandleFunc("POST /v1/simulate", s.counted("simulate", s.handleSimulate))
 	s.mux.HandleFunc("POST /v1/sweep", s.counted("sweep", s.handleSweep))
 	s.mux.HandleFunc("GET /v1/results/{key}", s.counted("results", s.handleResult))
 	s.mux.HandleFunc("GET /v1/traces/{id}", s.counted("traces", s.handleTrace))
+	s.mux.HandleFunc("GET /v1/twin/speedups", s.counted("twin_speedups", s.handleTwinSpeedups))
+	s.mux.HandleFunc("GET /v1/twin/dram", s.counted("twin_dram", s.handleTwinDRAM))
 	s.mux.HandleFunc("GET /healthz", s.counted("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.counted("metrics", s.handleMetrics))
 	return s
@@ -131,6 +147,10 @@ func (s *Server) Serve(ctx context.Context, l net.Listener, drain time.Duration)
 		return err
 	case <-ctx.Done():
 	}
+	// Readiness goes first: /healthz answers 503 from here on, so a load
+	// balancer (or cluster coordinator) probing during the drain stops
+	// sending new work before the listener disappears.
+	s.draining.Store(true)
 	sctx := context.Background()
 	if drain > 0 {
 		var cancel context.CancelFunc
@@ -346,6 +366,26 @@ func (s *Server) resolveEngine(engine string, tolerance float64) (string, float6
 	return eng, tolerance, nil
 }
 
+// shed applies queue-depth admission control: with a watermark configured
+// and the pool backlog at or past it, the request is answered 429 with a
+// Retry-After hint and true is returned. Shedding is deliberately checked
+// before any validation work — an overloaded worker's job is to say no
+// cheaply.
+func (s *Server) shed(w http.ResponseWriter) bool {
+	if s.shedmark <= 0 {
+		return false
+	}
+	_, _, waiting := s.runner.PoolGauges()
+	if waiting < s.shedmark {
+		return false
+	}
+	s.metrics.countShed()
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusTooManyRequests,
+		"overloaded: %d callers queued (shedding watermark %d); retry later", waiting, s.shedmark)
+	return true
+}
+
 // simCtx derives the per-request simulation context.
 func (s *Server) simCtx(r *http.Request) (context.Context, context.CancelFunc) {
 	if s.timeout > 0 {
@@ -367,6 +407,9 @@ func runErrorStatus(err error) int {
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	if s.shed(w) {
+		return
+	}
 	var req SimulateRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -607,18 +650,128 @@ type SweepResponse struct {
 	Cells []SweepCell `json:"cells"`
 }
 
+// Cell is one (workload, configuration) element of an expanded sweep
+// matrix: a named Table-IV workload or an inline spec, under a named
+// configuration. The worker daemon simulates Cells; the cluster
+// coordinator shards them across nodes — both expand the same matrix
+// through SweepRequest.Cells, so cell granularity and ordering are defined
+// exactly once.
+type Cell struct {
+	// Workload is the named workload; "" when Spec is set.
+	Workload string
+	// Spec is the inline declarative workload; nil for named workloads.
+	Spec *workspec.Spec
+	// Config is the named configuration.
+	Config string
+}
+
+// Name labels the cell's workload axis: the benchmark name, or the spec's
+// content-addressed label.
+func (c Cell) Name() string {
+	if c.Spec != nil {
+		return c.Spec.Label()
+	}
+	return c.Workload
+}
+
+// ID returns the cell's stable identity string. It is derived from the
+// same constituents as the persistent-store key (workload identity, named
+// configuration, load-stats flag) minus version and scale, so hashing it
+// routes repeated sweeps of the same cell to the same node — onto warm
+// memo and store state — across coordinator restarts.
+func (c Cell) ID(loadStats bool) string {
+	return fmt.Sprintf("%s\x00%s\x00%t", c.Name(), c.Config, loadStats)
+}
+
+// Cells validates the request and expands its matrix in workload-major
+// request order (named workloads, then specs, each crossed with the
+// configs). Validation is up front and field-precise so a typo fails fast
+// with one 400 instead of surfacing mid-sweep.
+func (req *SweepRequest) Cells() ([]Cell, error) {
+	if len(req.Workloads)+len(req.Specs) == 0 || len(req.Configs) == 0 {
+		return nil, errors.New("workloads/specs and configs must both be non-empty")
+	}
+	if req.SMJobs < 0 {
+		return nil, fmt.Errorf("sm_jobs must be >= 0, got %d", req.SMJobs)
+	}
+	for _, app := range req.Workloads {
+		if _, ok := workloads.ByName(app); !ok {
+			return nil, fmt.Errorf("unknown workload %q", app)
+		}
+	}
+	for i, sp := range req.Specs {
+		if sp == nil {
+			return nil, fmt.Errorf("specs[%d] is null", i)
+		}
+		if err := sp.Validate(); err != nil {
+			return nil, fmt.Errorf("specs[%d]: %v", i, err)
+		}
+	}
+	for _, name := range req.Configs {
+		if _, err := harness.NamedConfig(name); err != nil {
+			return nil, err
+		}
+	}
+	cells := make([]Cell, 0, (len(req.Workloads)+len(req.Specs))*len(req.Configs))
+	for _, app := range req.Workloads {
+		for _, cfg := range req.Configs {
+			cells = append(cells, Cell{Workload: app, Config: cfg})
+		}
+	}
+	for _, sp := range req.Specs {
+		for _, cfg := range req.Configs {
+			cells = append(cells, Cell{Spec: sp, Config: cfg})
+		}
+	}
+	return cells, nil
+}
+
+// CellRequest builds the single-cell sub-request a coordinator dispatches
+// to a worker for c, inheriting the sweep-wide execution knobs.
+func (req *SweepRequest) CellRequest(c Cell) SweepRequest {
+	sub := SweepRequest{
+		Configs:   []string{c.Config},
+		LoadStats: req.LoadStats,
+		SMJobs:    req.SMJobs,
+		Engine:    req.Engine,
+		Tolerance: req.Tolerance,
+	}
+	if c.Spec != nil {
+		sub.Specs = []*workspec.Spec{c.Spec}
+	} else {
+		sub.Workloads = []string{c.Workload}
+	}
+	return sub
+}
+
+// CellID validates the workload and config side of a simulate request and
+// returns its placement identity, consistent with Cell.ID. The cluster
+// coordinator uses it to route proxied /v1/simulate requests to the same
+// node the equivalent sweep cell lands on.
+func (req *SimulateRequest) CellID() (string, error) {
+	tgt, err := resolveTarget(req)
+	if err != nil {
+		return "", err
+	}
+	_, label, _, err := resolveConfig(req)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%s\x00%s\x00%t", tgt.name, label, req.LoadStats), nil
+}
+
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if s.shed(w) {
+		return
+	}
 	var req SweepRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	if len(req.Workloads)+len(req.Specs) == 0 || len(req.Configs) == 0 {
-		writeError(w, http.StatusBadRequest, "workloads/specs and configs must both be non-empty")
-		return
-	}
-	if req.SMJobs < 0 {
-		writeError(w, http.StatusBadRequest, "sm_jobs must be >= 0, got %d", req.SMJobs)
+	ins, err := req.Cells()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	eng, tol, err := s.resolveEngine(req.Engine, req.Tolerance)
@@ -631,66 +784,30 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			harness.EngineTwin, harness.EngineCycleAccurate, harness.EngineAuto)
 		return
 	}
-	// Validate the whole matrix up front so a typo fails fast with 400
-	// instead of surfacing mid-sweep.
-	var targets []target
-	for _, app := range req.Workloads {
-		if _, ok := workloads.ByName(app); !ok {
-			writeError(w, http.StatusBadRequest, "unknown workload %q", app)
-			return
-		}
-		targets = append(targets, target{name: app})
-	}
-	for i, sp := range req.Specs {
-		if sp == nil {
-			writeError(w, http.StatusBadRequest, "specs[%d] is null", i)
-			return
-		}
-		if err := sp.Validate(); err != nil {
-			writeError(w, http.StatusBadRequest, "specs[%d]: %v", i, err)
-			return
-		}
-		targets = append(targets, target{name: sp.Label(), spec: sp})
-	}
-	for _, name := range req.Configs {
-		if _, err := harness.NamedConfig(name); err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-	}
 
 	ctx, cancel := s.simCtx(r)
 	defer cancel()
-	type cellIn struct {
-		tgt     target
-		cfgName string
-	}
-	var ins []cellIn
-	for _, tgt := range targets {
-		for _, cfgName := range req.Configs {
-			ins = append(ins, cellIn{tgt, cfgName})
-		}
-	}
 	cells := make([]SweepCell, len(ins))
 	var wg sync.WaitGroup
 	for i, in := range ins {
 		wg.Add(1)
-		go func(i int, in cellIn) {
+		go func(i int, in Cell) {
 			defer wg.Done()
-			cfg, _ := harness.NamedConfig(in.cfgName)
-			key := s.storeKeyFor(in.tgt, cfg, req.LoadStats)
+			tgt := target{name: in.Name(), spec: in.Spec}
+			cfg, _ := harness.NamedConfig(in.Config)
+			key := s.storeKeyFor(tgt, cfg, req.LoadStats)
 			cell := SweepCell{
-				Workload: in.tgt.name,
-				Config:   in.cfgName,
+				Workload: tgt.name,
+				Config:   in.Config,
 				Key:      key,
-				Cached:   s.cachedBefore(in.tgt, cfg, in.cfgName, true, req.LoadStats, key),
+				Cached:   s.cachedBefore(tgt, cfg, in.Config, true, req.LoadStats, key),
 			}
 			s.metrics.simStart()
 			t0 := time.Now()
-			out, err := s.runTarget(ctx, in.tgt, in.cfgName, cfg, true, req.LoadStats,
+			out, err := s.runTarget(ctx, tgt, in.Config, cfg, true, req.LoadStats,
 				harness.EngineReq{Engine: eng, Tolerance: tol}, harness.RunOpts{SMJobs: req.SMJobs})
 			wall := time.Since(t0)
-			s.metrics.simEnd(in.cfgName, wall.Seconds())
+			s.metrics.simEnd(in.Config, wall.Seconds())
 			cell.WallMS = wall.Milliseconds()
 			if err != nil {
 				cell.Error = err.Error()
@@ -738,11 +855,127 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, e)
 }
 
+// HealthPool reports the worker pool's instantaneous capacity and backlog.
+type HealthPool struct {
+	Capacity   int `json:"capacity"`
+	Busy       int `json:"busy"`
+	QueueDepth int `json:"queueDepth"`
+}
+
+// HealthStore reports result-store attachment and reachability.
+type HealthStore struct {
+	Attached bool `json:"attached"`
+	// Reachable is true when the store directory answers a stat; a store
+	// on a dead mount flips it false while the daemon keeps serving.
+	Reachable bool   `json:"reachable"`
+	Dir       string `json:"dir,omitempty"`
+}
+
+// HealthResponse is the GET /healthz body: liveness plus the readiness
+// signals a load balancer or cluster coordinator routes on. Status is "ok"
+// (200) or "draining" (503, between SIGTERM and drain completion).
+type HealthResponse struct {
+	Status        string      `json:"status"`
+	Version       string      `json:"version"`
+	UptimeSeconds int64       `json:"uptimeSeconds"`
+	Pool          HealthPool  `json:"pool"`
+	Store         HealthStore `json:"store"`
+	ShedWatermark int         `json:"shedWatermark,omitempty"`
+	Draining      bool        `json:"draining,omitempty"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	capacity, busy, waiting := s.runner.PoolGauges()
+	h := HealthResponse{
+		Status:        "ok",
+		Version:       version.Stamp(),
+		UptimeSeconds: int64(time.Since(s.started).Seconds()),
+		Pool:          HealthPool{Capacity: capacity, Busy: busy, QueueDepth: waiting},
+		ShedWatermark: s.shedmark,
+	}
+	if s.runner.Store != nil {
+		h.Store.Attached = true
+		h.Store.Dir = s.runner.Store.Dir()
+		if _, err := os.Stat(h.Store.Dir); err == nil {
+			h.Store.Reachable = true
+		}
+	}
+	code := http.StatusOK
+	if s.draining.Load() {
+		h.Status = "draining"
+		h.Draining = true
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+// handleTwinSpeedups serves twin.Model.Speedups: the per-scheduler-variant
+// IPC speedup axis (Figure 10) answered analytically in microseconds.
+// Query parameters: workload (required), config (optional, default
+// "base" — supplies the machine geometry the variants are built from).
+func (s *Server) handleTwinSpeedups(w http.ResponseWriter, r *http.Request) {
+	app := r.URL.Query().Get("workload")
+	if app == "" {
+		writeError(w, http.StatusBadRequest, "missing workload query parameter")
+		return
+	}
+	cfgName := r.URL.Query().Get("config")
+	if cfgName == "" {
+		cfgName = "base"
+	}
+	sp, err := s.runner.TwinSpeedups(app, cfgName)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":        "ok",
-		"version":       version.Stamp(),
-		"uptimeSeconds": int64(time.Since(s.started).Seconds()),
+		"workload": app,
+		"config":   cfgName,
+		"engine":   harness.EngineTwin,
+		"variants": twin.SchedulerVariants,
+		"speedups": sp,
+		"version":  version.Stamp(),
+	})
+}
+
+// handleTwinDRAM serves the twin-predicted DRAM-bandwidth sensitivity
+// sweep. Query parameters: workload (required), config (optional, default
+// "base"), intervals (optional comma-separated per-partition service
+// intervals in cycles, default "1,2,4,8").
+func (s *Server) handleTwinDRAM(w http.ResponseWriter, r *http.Request) {
+	app := r.URL.Query().Get("workload")
+	if app == "" {
+		writeError(w, http.StatusBadRequest, "missing workload query parameter")
+		return
+	}
+	cfgName := r.URL.Query().Get("config")
+	if cfgName == "" {
+		cfgName = "base"
+	}
+	spec := r.URL.Query().Get("intervals")
+	if spec == "" {
+		spec = "1,2,4,8"
+	}
+	var intervals []int
+	for _, part := range strings.Split(spec, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			writeError(w, http.StatusBadRequest, "bad interval %q: want positive integers", part)
+			return
+		}
+		intervals = append(intervals, v)
+	}
+	points, err := s.runner.TwinDRAMBandwidth(app, cfgName, intervals)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"workload": app,
+		"config":   cfgName,
+		"engine":   harness.EngineTwin,
+		"points":   points,
+		"version":  version.Stamp(),
 	})
 }
 
